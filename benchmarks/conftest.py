@@ -1,0 +1,37 @@
+"""Shared benchmark infrastructure.
+
+Every file in this directory regenerates one table or figure from the
+paper (see DESIGN.md §3).  Each benchmark
+
+* runs the corresponding experiment once under ``pytest-benchmark``
+  (``rounds=1`` -- these are full workload simulations, not microbenches),
+* prints the paper-style rows/series (visible with ``pytest -s``),
+* asserts the *shape* criteria from DESIGN.md (who wins, by roughly what
+  factor), and
+* records the headline numbers in ``benchmark.extra_info`` so the JSON
+  output carries the measured values.
+
+Absolute numbers are not expected to match the paper (the substrate is a
+simulator, not a Cray XC40); shapes are.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **extra):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    return result
+
+
+@pytest.fixture
+def report():
+    """Collect printable lines and emit them at the end of the bench."""
+    lines = []
+    yield lines
+    if lines:
+        print()
+        for line in lines:
+            print(line)

@@ -1,0 +1,54 @@
+"""Ablation: analysis-script runtime vs collected data volume.
+
+Extends Table V: the paper reports one point (1M samples); this sweep
+shows how each script's wall-clock scales with trace volume so users
+can extrapolate.  The key shape -- trace summary the steepest, profile
+summary the flattest -- must hold at every size.
+"""
+
+from repro.experiments import (
+    TABLE_IV,
+    ascii_table,
+    run_hepnos_experiment,
+    time_analysis_scripts,
+)
+from .conftest import run_once
+
+SIZES = (512, 2048, 8192)  # events per client
+
+
+def _sweep():
+    out = {}
+    for events in SIZES:
+        result = run_hepnos_experiment(TABLE_IV["C2"], events_per_client=events)
+        out[events] = (result.collector.total_trace_events,
+                       time_analysis_scripts(result))
+    return out
+
+
+def test_ablation_analysis_scaling(benchmark, report):
+    results = run_once(benchmark, _sweep)
+    rows = [
+        {
+            "events/client": events,
+            "trace events": n_events,
+            "profile (s)": t.profile_summary_s,
+            "trace (s)": t.trace_summary_s,
+            "system (s)": t.system_summary_s,
+        }
+        for events, (n_events, t) in results.items()
+    ]
+    report.append("Ablation: analysis-script runtime vs data volume")
+    report.append(ascii_table(rows))
+
+    volumes = [results[s][0] for s in SIZES]
+    assert volumes == sorted(volumes)
+    assert volumes[-1] > 4 * volumes[0]
+    # Trace summary is the most expensive script at the largest size
+    # (Table V's ordering), and its cost grows with volume.
+    big = results[SIZES[-1]][1]
+    small = results[SIZES[0]][1]
+    assert big.trace_summary_s > big.profile_summary_s
+    assert big.trace_summary_s > small.trace_summary_s
+    benchmark.extra_info["volumes"] = volumes
+    benchmark.extra_info["trace_s_at_max"] = round(big.trace_summary_s, 4)

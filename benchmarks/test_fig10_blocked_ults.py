@@ -1,0 +1,89 @@
+"""Figure 10: too many databases (C2 vs C3).
+
+The origin hashes keys over the total database count, so C2 (32
+databases) turns every client batch into 4x as many put_packed RPCs as
+C3 (8 databases).  The map backend cannot insert in parallel within a
+database, so the C2 flood piles blocked ULTs onto the backend mutexes
+during bursts -- the vertical-line pattern of Fig 10a -- while C3's
+spikes are much lower and overall RPC performance improves (paper:
+28.5%).
+"""
+
+import numpy as np
+
+from repro.experiments import TABLE_IV, ascii_table, run_hepnos_experiment
+from .conftest import run_once
+
+EVENTS_PER_CLIENT = 2048
+
+
+def _run_pair():
+    return {
+        name: run_hepnos_experiment(
+            TABLE_IV[name], events_per_client=EVENTS_PER_CLIENT
+        )
+        for name in ("C2", "C3")
+    }
+
+
+def test_fig10_blocked_ults(benchmark, report):
+    results = run_once(benchmark, _run_pair)
+    c2, c3 = results["C2"], results["C3"]
+
+    stats = {}
+    rows = []
+    for r in (c2, c3):
+        samples = r.blocked_samples()
+        ys = np.array([b for _, b, _ in samples])
+        stats[r.config.name] = ys
+        rows.append(
+            {
+                "config": r.config.name,
+                "databases": r.config.databases,
+                "put_packed RPCs": r.rpcs_issued,
+                "blocked ULTs (max)": int(ys.max()),
+                "blocked ULTs (p95)": int(np.percentile(ys, 95)),
+                "blocked ULTs (mean)": float(ys.mean()),
+            }
+        )
+    report.append("Figure 10: blocked-ULT samples at request start (t4)")
+    report.append(ascii_table(rows))
+    improvement = 1 - c3.cumulative_target_time / c2.cumulative_target_time
+    report.append(
+        f"C3 improves cumulative RPC time by {100 * improvement:.1f}% "
+        f"(paper: 28.5%)"
+    )
+
+    # Shape 1: more databases => proportionally more RPCs (4x here).
+    assert c2.rpcs_issued == 4 * c3.rpcs_issued
+    # Shape 2: serialization severity is much reduced in C3 -- the blocked
+    # ULT spikes drop by at least 2x at the max and the 95th percentile.
+    assert stats["C2"].max() > 2 * stats["C3"].max()
+    assert np.percentile(stats["C2"], 95) > 2 * np.percentile(stats["C3"], 95)
+    # Shape 3: RPC performance improves by a comparable margin (>= 15%).
+    assert improvement > 0.15
+    # Shape 4: the C2 scatter shows "vertical lines" -- requests that
+    # began executing at (nearly) the same instant while the blocked-ULT
+    # count spans a wide range, i.e. stacked points.  Measure the widest
+    # vertical span within a 50us start-time bucket.
+    def max_vertical_span(result):
+        buckets: dict[int, list[int]] = {}
+        for t4, blocked, _ in result.blocked_samples():
+            buckets.setdefault(int(t4 / 50e-6), []).append(blocked)
+        return max(
+            (max(v) - min(v)) for v in buckets.values() if len(v) >= 3
+        )
+
+    span_c2 = max_vertical_span(c2)
+    span_c3 = max_vertical_span(c3)
+    report.append(
+        f"widest vertical blocked-ULT span in one 50us window: "
+        f"C2={span_c2}, C3={span_c3}"
+    )
+    assert span_c2 > 50, "C2 should show tall vertical serialization lines"
+    assert span_c2 > 2 * span_c3
+    benchmark.extra_info["c2_vertical_span"] = int(span_c2)
+    benchmark.extra_info["c3_vertical_span"] = int(span_c3)
+    benchmark.extra_info["c2_blocked_max"] = int(stats["C2"].max())
+    benchmark.extra_info["c3_blocked_max"] = int(stats["C3"].max())
+    benchmark.extra_info["improvement"] = round(improvement, 4)

@@ -1,0 +1,101 @@
+"""Figure 11: the unaccounted component of RPC execution time (C4-C7).
+
+With batch size 1 (C5) the client progress ULT competes with the
+request-issuing ULTs for the primary execution stream; responses back up
+in the OFI event queue, and the resulting delay appears in no
+instrumented interval -- the *unaccounted* (blue) component.  Raising
+``OFI_max_events`` to 64 (C6) improves RPC performance (paper: >40%) and
+cuts unaccounted time (paper: -47%); a dedicated client progress ES (C7)
+improves a further ~75% and removes ~90% of what remains.  Batch 1024
+(C4) is two to three orders of magnitude more performant per event
+(paper: ~475x; the simulated client overhead is conservative, so the
+reproduced ratio is smaller but strongly in the same direction).
+"""
+
+from repro.experiments import (
+    TABLE_IV,
+    ascii_table,
+    format_seconds,
+    run_hepnos_experiment,
+)
+from .conftest import run_once
+
+EVENTS_PER_CLIENT = 2048
+PIPELINE = {"C4": 32, "C5": 64, "C6": 64, "C7": 64}
+
+
+def _run_all():
+    return {
+        name: run_hepnos_experiment(
+            TABLE_IV[name],
+            events_per_client=EVENTS_PER_CLIENT,
+            pipeline_width=PIPELINE[name],
+        )
+        for name in ("C4", "C5", "C6", "C7")
+    }
+
+
+def test_fig11_unaccounted(benchmark, report):
+    results = run_once(benchmark, _run_all)
+    rows = []
+    for name in ("C4", "C5", "C6", "C7"):
+        r = results[name]
+        rows.append(
+            {
+                "config": name,
+                "batch": r.config.batch_size,
+                "OFI_max_events": r.config.ofi_max_events,
+                "progress thread": "yes" if r.config.client_progress_thread else "no",
+                "cumulative RPC time": format_seconds(r.cumulative_origin_time),
+                "unaccounted": format_seconds(r.unaccounted_time),
+                "unaccounted share": f"{100 * r.unaccounted_fraction:.1f}%",
+            }
+        )
+    report.append("Figure 11: unaccounted component of RPC execution time")
+    report.append(ascii_table(rows))
+
+    c4, c5, c6, c7 = (results[k] for k in ("C4", "C5", "C6", "C7"))
+
+    # Shape 1: batch 1024 is far more performant per event than batch 1
+    # (paper: ~475x; assert at least one order of magnitude).
+    per_event_ratio = (c5.makespan / c4.makespan)
+    report.append(f"C4 vs C5 per-event performance ratio: {per_event_ratio:.1f}x "
+                  f"(paper: ~475x)")
+    assert per_event_ratio > 10
+
+    # Shape 2: C5's instrumented intervals cannot explain most of the
+    # time -- the unaccounted share dominates.
+    assert c5.unaccounted_fraction > 0.5
+    assert c4.unaccounted_fraction < 0.2
+
+    # Shape 3: C6 (OFI_max_events 64) improves RPC performance by >40%
+    # scale-equivalent (assert >= 25%) and reduces unaccounted time
+    # (paper -47%; assert >= 25%).
+    c6_impr = 1 - c6.cumulative_origin_time / c5.cumulative_origin_time
+    c6_unacc_drop = 1 - c6.unaccounted_time / c5.unaccounted_time
+    report.append(
+        f"C6 vs C5: RPC time -{100 * c6_impr:.1f}% (paper 40%), "
+        f"unaccounted -{100 * c6_unacc_drop:.1f}% (paper 47%)"
+    )
+    assert c6_impr > 0.25
+    assert c6_unacc_drop > 0.25
+
+    # Shape 4: the dedicated progress ES (C7) improves by a further large
+    # margin (paper 75%) and removes most remaining unaccounted time
+    # (paper 90%).
+    c7_impr = 1 - c7.cumulative_origin_time / c6.cumulative_origin_time
+    c7_unacc_drop = 1 - c7.unaccounted_time / c6.unaccounted_time
+    report.append(
+        f"C7 vs C6: RPC time -{100 * c7_impr:.1f}% (paper 75%), "
+        f"unaccounted -{100 * c7_unacc_drop:.1f}% (paper 90%)"
+    )
+    assert c7_impr > 0.5
+    assert c7_unacc_drop > 0.6
+
+    benchmark.extra_info.update(
+        per_event_ratio=round(per_event_ratio, 2),
+        c6_improvement=round(c6_impr, 4),
+        c6_unaccounted_drop=round(c6_unacc_drop, 4),
+        c7_improvement=round(c7_impr, 4),
+        c7_unaccounted_drop=round(c7_unacc_drop, 4),
+    )

@@ -1,0 +1,83 @@
+"""Figure 12: sampling num_ofi_events_read on the client (C4-C7).
+
+SYMBIOSYS samples the ``num_ofi_events_read`` Mercury PVAR at every t14
+trace event.  Per the paper:
+
+* C4 (batch 1024): the OFI_max_events threshold of 16 is never breached.
+* C5 (batch 1): reads consistently hit the 16-event cap -- the
+  completion queue is backed up.
+* C6 (cap 64): reads rise above 16, showing the hidden backlog.
+* C7 (dedicated progress ES): the queue no longer backs up; reads are
+  small again.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    TABLE_IV,
+    ascii_table,
+    run_hepnos_experiment,
+    series_histogram,
+)
+from .conftest import run_once
+
+EVENTS_PER_CLIENT = 2048
+PIPELINE = {"C4": 32, "C5": 64, "C6": 64, "C7": 64}
+
+
+def _run_all():
+    return {
+        name: run_hepnos_experiment(
+            TABLE_IV[name],
+            events_per_client=EVENTS_PER_CLIENT,
+            pipeline_width=PIPELINE[name],
+        )
+        for name in ("C4", "C5", "C6", "C7")
+    }
+
+
+def test_fig12_ofi_events(benchmark, report):
+    results = run_once(benchmark, _run_all)
+    series = {
+        name: np.array([v for _, v in r.ofi_series()])
+        for name, r in results.items()
+    }
+
+    rows = []
+    for name in ("C4", "C5", "C6", "C7"):
+        s = series[name]
+        rows.append(
+            {
+                "config": name,
+                "OFI_max_events": results[name].config.ofi_max_events,
+                "samples": len(s),
+                "mean": float(s.mean()),
+                "max": int(s.max()),
+                "share at/above 16": f"{100 * float((s >= 16).mean()):.1f}%",
+            }
+        )
+    report.append("Figure 12: num_ofi_events_read samples per configuration")
+    report.append(ascii_table(rows))
+    for name in ("C4", "C5", "C6", "C7"):
+        report.append(series_histogram(series[name], bins=[4, 16, 64],
+                                       label=f"{name} num_ofi_events_read"))
+
+    c4, c5, c6, c7 = (series[k] for k in ("C4", "C5", "C6", "C7"))
+    # C4: threshold never breached.
+    assert c4.max() < 16
+    # C5: the 16-event cap is consistently hit (>= 80% of samples).
+    assert c5.max() == 16
+    assert float((c5 >= 16).mean()) > 0.8
+    # C6: values above the old threshold appear, bounded by the new cap.
+    assert c6.max() > 16
+    assert c6.max() <= 64
+    assert float((c6 > 16).mean()) > 0.3
+    # C7: queue drained -- reads small again.
+    assert c7.mean() < 4
+    assert c7.max() <= 16
+    benchmark.extra_info.update(
+        c4_max=int(c4.max()),
+        c5_share_at_cap=round(float((c5 >= 16).mean()), 4),
+        c6_max=int(c6.max()),
+        c7_mean=round(float(c7.mean()), 3),
+    )

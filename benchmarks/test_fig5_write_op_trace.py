@@ -1,0 +1,54 @@
+"""Figure 5: Zipkin trace of a single mobject_write_op request.
+
+Runs ior over Mobject (one provider node, 10 colocated clients), stitches
+the distributed trace, and exports one write_op request as an OpenZipkin
+JSON document: the root span plus its 12 discrete SDSKV/BAKE child calls.
+"""
+
+import json
+
+from repro.experiments import run_mobject_experiment
+from repro.symbiosys.zipkin import to_zipkin_json
+from repro.workloads import IorConfig
+from .conftest import run_once
+
+
+def _run():
+    return run_mobject_experiment(
+        n_clients=10,
+        ior_config=IorConfig(objects_per_client=2, read_iterations=1),
+    )
+
+
+def test_fig5_write_op_trace(benchmark, report):
+    result = run_once(benchmark, _run)
+    request = result.write_op_trace()
+    assert request is not None, "no complete write_op trace captured"
+
+    calls = request.discrete_calls()
+    report.append("Figure 5: single mobject_write_op request structure")
+    report.append(f"  request {request.request_id}: root mobject_write_op")
+    for i, name in enumerate(calls, 1):
+        report.append(f"   step {i:>2}: {name}")
+
+    # Shape: exactly 12 discrete SDSKV/BAKE microservice calls per write.
+    assert len(calls) == 12
+    assert all(c.startswith(("sdskv_", "bake_")) for c in calls)
+    assert "sdskv_get_rpc" in calls
+    assert "bake_persist_rpc" in calls
+
+    # The Zipkin export is valid JSON with correct parentage and a Gantt-
+    # compatible timeline (children within the root interval).
+    doc = to_zipkin_json([request])
+    spans = json.loads(doc)
+    assert len(spans) == 13
+    roots = [s for s in spans if "parentId" not in s]
+    assert len(roots) == 1 and roots[0]["name"] == "mobject_write_op"
+    root = roots[0]
+    root_end = root["timestamp"] + root["duration"]
+    for child in spans:
+        if child is root:
+            continue
+        assert child["parentId"] == root["id"]
+        assert root["timestamp"] <= child["timestamp"] <= root_end
+    benchmark.extra_info["discrete_calls"] = len(calls)

@@ -1,0 +1,52 @@
+"""Figure 6: identifying the dominant callpaths (ior + Mobject).
+
+One Mobject provider node, 10 ior clients colocated on the same physical
+node.  The profile summary ranks distributed callpaths by cumulative
+end-to-end latency; per the paper, ``mobject_read_op`` is the most
+expensive API operation overall and ``mobject_read_op ->
+sdskv_list_keyvals_rpc`` is its dominant component, while the individual
+per-step times (serialization, RDMA, handler) are negligible next to the
+target execution time.
+"""
+
+from repro.experiments import run_mobject_experiment
+from .conftest import run_once
+
+
+def _run():
+    return run_mobject_experiment(n_clients=10)
+
+
+def test_fig6_dominant_callpaths(benchmark, report):
+    result = run_once(benchmark, _run)
+    summary = result.summary
+    top5 = summary.top(5)
+
+    report.append("Figure 6: top-5 dominant callpaths by cumulative latency")
+    report.append(summary.render(top_n=5))
+
+    names = [row.name for row in top5]
+    # Shape 1: the read op dominates overall.
+    assert names[0] == "mobject_read_op"
+    # Shape 2: its dominant component is the key-value listing.
+    assert names[1] == "mobject_read_op -> sdskv_list_keyvals_rpc"
+    list_row = summary.row_for("mobject_read_op -> sdskv_list_keyvals_rpc")
+    read_row = summary.row_for("mobject_read_op")
+    read_children = [
+        r for r in summary.rows
+        if r.name.startswith("mobject_read_op -> ")
+    ]
+    assert list_row.cumulative_latency == max(
+        r.cumulative_latency for r in read_children
+    )
+    assert list_row.cumulative_latency > 0.4 * read_row.cumulative_latency
+    # Shape 3: per-step overheads are negligible next to target execution.
+    for row in (read_row, list_row):
+        assert row.fraction("target_execution_time") > 0.5
+        assert row.fraction("input_serialization_time") < 0.1
+        assert row.fraction("target_handler_time") < 0.1
+    # Every callpath identifies its origin/target entities.
+    assert read_row.origin_counts and read_row.target_counts
+    assert set(read_row.target_counts) == {"mobject0"}
+    assert len(read_row.origin_counts) == 10  # all ten ior clients
+    benchmark.extra_info["top5"] = names

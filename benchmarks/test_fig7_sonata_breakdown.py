@@ -1,0 +1,53 @@
+"""Figure 7: Sonata -- mapping execution time to individual steps.
+
+One origin and one target on separate nodes; the benchmark stores a
+fixed-length JSON record array in batches via sonata_store_multi_json
+(paper: 50,000 records, batch 5,000 -- scaled 5x down here, same ratio).
+The JSON travels as RPC metadata, overflowing the eager buffer, so the
+breakdown shows a visible input-deserialization share (~27% in the
+paper) and a comparatively low internal-RDMA share.
+"""
+
+from repro.experiments import ascii_table, format_seconds, run_sonata_experiment
+from .conftest import run_once
+
+N_RECORDS = 10_000
+BATCH = 1_000  # 50_000 / 5_000 in the paper; same 10:1 ratio
+
+
+def _run():
+    return run_sonata_experiment(n_records=N_RECORDS, batch_size=BATCH)
+
+
+def test_fig7_sonata_breakdown(benchmark, report):
+    result = run_once(benchmark, _run)
+    breakdown = result.target_execution_breakdown()
+    total = (
+        breakdown["target_execution_time"]
+        + breakdown["internal_rdma_transfer_time"]
+    )
+    rows = [
+        {
+            "step": name,
+            "cumulative": format_seconds(value),
+            "share": f"{100 * value / total:.1f}%",
+        }
+        for name, value in breakdown.items()
+        if name != "target_execution_time"
+    ]
+    report.append(
+        f"Figure 7: cumulative target execution breakdown "
+        f"({N_RECORDS} records, batch {BATCH})"
+    )
+    report.append(ascii_table(rows))
+
+    deser_frac = result.deserialization_fraction
+    rdma_frac = breakdown["internal_rdma_transfer_time"] / total
+    # Shape: deserialization is a substantial share (paper: 27%), while
+    # the internal RDMA transfer is comparatively low.
+    assert 0.15 <= deser_frac <= 0.40, f"deser fraction {deser_frac:.3f}"
+    assert rdma_frac < deser_frac / 2
+    # The store work itself is the largest single component.
+    assert breakdown["document_store_time"] > breakdown["input_deserialization_time"]
+    benchmark.extra_info["deser_fraction"] = round(deser_frac, 4)
+    benchmark.extra_info["rdma_fraction"] = round(rdma_frac, 4)

@@ -1,0 +1,74 @@
+"""Figure 9: too few execution streams (C1 vs C2).
+
+C1 gives each HEPnOS server only 5 handler execution streams; newly
+spawned ULTs wait in the Argobots handler pool, so the *target handler
+time* becomes a visible share of the cumulative target RPC execution
+time for sdskv_put_packed.  C2 adds 15 more streams: in the paper,
+cumulative time improves 53.3% and the handler share drops from 26.6%
+to 14%.  The shape criteria assert the same direction at comparable
+magnitude.
+"""
+
+from repro.experiments import (
+    TABLE_IV,
+    ascii_table,
+    format_seconds,
+    run_hepnos_experiment,
+)
+from .conftest import run_once
+
+EVENTS_PER_CLIENT = 2048
+
+
+def _run_pair():
+    return {
+        name: run_hepnos_experiment(
+            TABLE_IV[name], events_per_client=EVENTS_PER_CLIENT
+        )
+        for name in ("C1", "C2")
+    }
+
+
+def test_fig9_execution_streams(benchmark, report):
+    results = run_once(benchmark, _run_pair)
+    c1, c2 = results["C1"], results["C2"]
+
+    rows = []
+    for r in (c1, c2):
+        breakdown = r.target_breakdown()
+        rows.append(
+            {
+                "config": r.config.name,
+                "threads (ESs)": r.config.threads,
+                "cumulative target RPC time": format_seconds(
+                    r.cumulative_target_time
+                ),
+                "handler share": f"{100 * r.handler_time_fraction:.1f}%",
+                "handler time": format_seconds(breakdown["target_handler_time"]),
+                "execution time": format_seconds(breakdown["target_execution_time"]),
+            }
+        )
+    report.append("Figure 9: cumulative target RPC execution time (sdskv_put_packed)")
+    report.append(ascii_table(rows))
+
+    improvement = 1 - c2.cumulative_target_time / c1.cumulative_target_time
+    report.append(
+        f"C2 improves cumulative target RPC time by {100 * improvement:.1f}% "
+        f"(paper: 53.3%)"
+    )
+
+    # Shape 1: C1's handler time is a significant share (paper 26.6%).
+    assert c1.handler_time_fraction > 0.08
+    # Shape 2: adding execution streams shrinks the handler share and its
+    # absolute time.
+    assert c2.handler_time_fraction < c1.handler_time_fraction
+    assert (
+        c2.target_breakdown()["target_handler_time"]
+        < 0.5 * c1.target_breakdown()["target_handler_time"]
+    )
+    # Shape 3: overall cumulative target time improves substantially
+    # (paper: 53.3%; require at least 30%).
+    assert improvement > 0.30
+    benchmark.extra_info["c1_handler_fraction"] = round(c1.handler_time_fraction, 4)
+    benchmark.extra_info["c2_handler_fraction"] = round(c2.handler_time_fraction, 4)
+    benchmark.extra_info["improvement"] = round(improvement, 4)

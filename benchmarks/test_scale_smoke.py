@@ -1,0 +1,68 @@
+"""Scale smoke test: a deployment in the paper's overhead-study range.
+
+The paper's §VI study used 224 data-loader clients against 32 HEPnOS
+service providers over 128 nodes.  This bench runs a 64-client /
+8-server deployment (the largest that stays in a one-minute budget) at
+full instrumentation and checks that the system behaves sanely at that
+scale: everything stores, profiles balance across servers, and the
+collected trace volume matches the RPC count.
+"""
+
+from repro.experiments import (
+    TABLE_IV,
+    ascii_table,
+    format_seconds,
+    run_hepnos_experiment,
+)
+from repro.symbiosys import push
+from repro.symbiosys.analysis import system_summary
+from .conftest import run_once
+
+CONFIG = TABLE_IV["C2"].scaled(
+    name="scale-smoke",
+    total_clients=64,
+    clients_per_node=16,
+    total_servers=8,
+    servers_per_node=2,
+    databases=64,
+)
+EVENTS_PER_CLIENT = 1024
+
+
+def _run():
+    return run_hepnos_experiment(CONFIG, events_per_client=EVENTS_PER_CLIENT)
+
+
+def test_scale_smoke(benchmark, report):
+    result = run_once(benchmark, _run)
+    report.append(
+        f"scale smoke: {CONFIG.total_clients} clients x "
+        f"{CONFIG.total_servers} servers, "
+        f"{result.events_stored} events in {format_seconds(result.makespan)} "
+        f"simulated ({result.collector.total_trace_events} trace events)"
+    )
+
+    # Everything stored.
+    assert result.events_stored == CONFIG.total_clients * EVENTS_PER_CLIENT
+    # Trace volume: 4 events per RPC, across 72 processes.
+    assert result.collector.total_trace_events == 4 * result.rpcs_issued
+    assert len(set(result.collector.processes())) == 64 + 8
+
+    # The put_packed load spreads over all 8 servers within a reasonable
+    # imbalance factor (hashing over 64 databases).
+    row = result.put_packed_row()
+    assert set(row.target_counts) == set(result.server_addrs)
+    counts = sorted(row.target_counts.values())
+    assert counts[-1] < 2.5 * counts[0]
+    report.append(
+        "per-server put_packed counts: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(row.target_counts.items()))
+    )
+
+    # System summary covers every process with sane values.
+    summary = system_summary(result.collector.all_events())
+    assert len(summary.per_process) == 72
+    for stats in summary.per_process.values():
+        assert 0.0 <= stats.mean_cpu <= 1.0
+    benchmark.extra_info["trace_events"] = result.collector.total_trace_events
+    benchmark.extra_info["makespan_ms"] = round(result.makespan * 1e3, 3)

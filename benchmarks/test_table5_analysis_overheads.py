@@ -1,0 +1,46 @@
+"""Table V: analysis-script overheads.
+
+Times the three offline analysis scripts (profile summary, trace
+summary, system statistics summary) over the data collected from a
+full-support HEPnOS run.  The paper's shape: the trace summary is by far
+the slowest (481.1 s over ~1M samples at their scale), with the system
+summary next (73.4 s) and the profile summary fastest (35.1 s).
+"""
+
+from repro.experiments import (
+    TABLE_IV,
+    ascii_table,
+    run_hepnos_experiment,
+    time_analysis_scripts,
+)
+from .conftest import run_once
+
+EVENTS_PER_CLIENT = 4096
+
+
+def _run():
+    result = run_hepnos_experiment(
+        TABLE_IV["C2"], events_per_client=EVENTS_PER_CLIENT
+    )
+    return result, time_analysis_scripts(result)
+
+
+def test_table5_analysis_overheads(benchmark, report):
+    result, timings = run_once(benchmark, _run)
+    report.append(
+        f"Table V: analysis overheads over {timings.trace_events} trace events"
+    )
+    report.append(ascii_table(timings.rows()))
+
+    # Shape: trace summary is the most expensive script; the profile
+    # summary is the cheapest (paper: 481.1s vs 73.4s vs 35.1s).
+    assert timings.trace_summary_s > timings.profile_summary_s
+    # A meaningful amount of data was actually analyzed.
+    assert timings.trace_events > 10_000
+    assert result.events_stored == 32 * EVENTS_PER_CLIENT
+    benchmark.extra_info.update(
+        profile_s=round(timings.profile_summary_s, 4),
+        trace_s=round(timings.trace_summary_s, 4),
+        system_s=round(timings.system_summary_s, 4),
+        events=timings.trace_events,
+    )

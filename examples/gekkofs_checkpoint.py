@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Service generality: profiling a GekkoFS checkpoint workload.
+
+The paper expects SYMBIOSYS "to support this wide range of HPC service
+and execution environments that are enabled by Mochi."  This example
+runs an N-rank checkpoint burst against a GekkoFS deployment (one of the
+cited services, implemented over the same stack) with full
+instrumentation, then uses the standard analysis path -- the framework
+needs zero service-specific code.
+
+Run:  python examples/gekkofs_checkpoint.py
+"""
+
+import numpy as np
+
+from repro.margo import MargoInstance
+from repro.net import Fabric, FabricConfig
+from repro.services.gekkofs import GekkoFSClient, GekkoFSCluster
+from repro.sim import RngRegistry, Simulator
+from repro.symbiosys import Stage, SymbiosysCollector
+from repro.symbiosys.analysis import profile_summary, system_summary
+
+N_DAEMONS = 4
+N_RANKS = 8
+CHECKPOINT_BYTES = 256 * 1024  # per rank
+
+
+def main() -> None:
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    collector = SymbiosysCollector(Stage.FULL)
+    cluster = GekkoFSCluster.deploy(
+        sim,
+        fabric,
+        n_daemons=N_DAEMONS,
+        instrumentation_factory=collector.create_instrumentation,
+    )
+
+    done = []
+    rng = RngRegistry(17)
+    for rank in range(N_RANKS):
+        mi = MargoInstance(
+            sim, fabric, f"rank{rank}", f"cn{rank // 4}",
+            instrumentation=collector.create_instrumentation(),
+        )
+        client = GekkoFSClient(mi, cluster)
+        payload = rng.fork(f"r{rank}").stream("ckpt").integers(
+            0, 256, size=CHECKPOINT_BYTES, dtype=np.uint8
+        ).tobytes()
+
+        def body(c=client, r=rank, data=payload):
+            path = f"/ckpt/step42/rank{r}"
+            yield from c.create(path)
+            yield from c.write(path, 0, data)
+            back = yield from c.read(path, 0, len(data))
+            assert back == data, "checkpoint corrupted"
+            done.append(r)
+
+        mi.client_ult(body(), name=f"ckpt{rank}")
+
+    assert sim.run_until(lambda: len(done) == N_RANKS, limit=10.0)
+    print(f"{N_RANKS} ranks checkpointed {CHECKPOINT_BYTES // 1024} KiB each "
+          f"across {N_DAEMONS} daemons, verified, at t={sim.now * 1e3:.2f} ms\n")
+
+    print("=== dominant GekkoFS callpaths (no service-specific tooling) ===")
+    print(profile_summary(collector).render(top_n=4))
+
+    print("\n=== per-daemon system statistics ===")
+    summary = system_summary(collector.all_events())
+    print(summary.render())
+
+    chunks_per_daemon = [len(d.chunks) for d in cluster.daemons]
+    print(f"\nchunk striping across daemons: {chunks_per_daemon}")
+
+
+if __name__ == "__main__":
+    main()

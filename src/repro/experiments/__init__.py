@@ -1,0 +1,41 @@
+"""Experiment harnesses reproducing the paper's tables and figures."""
+
+from .configs import HEPnOSConfig, TABLE_IV, table_iv_rows
+from .hepnos import (
+    HEPnOSExperimentResult,
+    PUT_PACKED,
+    run_hepnos_experiment,
+)
+from .mobject import MobjectExperimentResult, run_mobject_experiment
+from .overhead import (
+    AnalysisTimings,
+    OverheadStudyResult,
+    run_overhead_study,
+    time_analysis_scripts,
+)
+from .presets import FAST_TEST, THETA_KNL, Preset
+from .reporting import ascii_table, format_seconds, series_histogram
+from .sonata import SonataExperimentResult, run_sonata_experiment
+
+__all__ = [
+    "AnalysisTimings",
+    "FAST_TEST",
+    "HEPnOSConfig",
+    "HEPnOSExperimentResult",
+    "MobjectExperimentResult",
+    "OverheadStudyResult",
+    "PUT_PACKED",
+    "Preset",
+    "SonataExperimentResult",
+    "TABLE_IV",
+    "THETA_KNL",
+    "ascii_table",
+    "format_seconds",
+    "run_hepnos_experiment",
+    "run_mobject_experiment",
+    "run_overhead_study",
+    "run_sonata_experiment",
+    "series_histogram",
+    "table_iv_rows",
+    "time_analysis_scripts",
+]

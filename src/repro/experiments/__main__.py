@@ -1,0 +1,185 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table4
+    python -m repro.experiments fig6 fig7
+    python -m repro.experiments fig9 --events 4096
+    python -m repro.experiments all
+
+Each target regenerates one paper table/figure and prints the
+paper-style rows (the same harnesses the benchmark suite asserts on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .configs import TABLE_IV, table_iv_rows
+from .hepnos import run_hepnos_experiment
+from .mobject import run_mobject_experiment
+from .overhead import run_overhead_study, time_analysis_scripts
+from .reporting import ascii_table, format_seconds, series_histogram
+from .sonata import run_sonata_experiment
+
+
+def _fig5(args) -> None:
+    result = run_mobject_experiment()
+    request = result.write_op_trace()
+    print("Figure 5: one mobject_write_op request")
+    for i, name in enumerate(request.discrete_calls(), 1):
+        print(f"  step {i:>2}: {name}")
+
+
+def _fig6(args) -> None:
+    result = run_mobject_experiment()
+    print("Figure 6: dominant callpaths (ior + Mobject)")
+    print(result.summary.render(top_n=5))
+
+
+def _fig7(args) -> None:
+    result = run_sonata_experiment(n_records=10_000, batch_size=1_000)
+    print("Figure 7: Sonata target execution breakdown")
+    b = result.target_execution_breakdown()
+    total = b["target_execution_time"] + b["internal_rdma_transfer_time"]
+    rows = [
+        {"step": k, "time": format_seconds(v), "share": f"{100 * v / total:.1f}%"}
+        for k, v in b.items() if k != "target_execution_time"
+    ]
+    print(ascii_table(rows))
+
+
+def _fig9(args) -> None:
+    rows = []
+    for name in ("C1", "C2"):
+        r = run_hepnos_experiment(TABLE_IV[name], events_per_client=args.events)
+        rows.append({
+            "config": name,
+            "threads": r.config.threads,
+            "cumulative target RPC time": format_seconds(r.cumulative_target_time),
+            "handler share": f"{100 * r.handler_time_fraction:.1f}%",
+        })
+    print("Figure 9: too few execution streams")
+    print(ascii_table(rows))
+
+
+def _fig10(args) -> None:
+    rows = []
+    for name in ("C2", "C3"):
+        r = run_hepnos_experiment(TABLE_IV[name], events_per_client=args.events)
+        blocked = np.array([b for _, b, _ in r.blocked_samples()])
+        rows.append({
+            "config": name,
+            "databases": r.config.databases,
+            "RPCs": r.rpcs_issued,
+            "blocked max": int(blocked.max()),
+            "cumulative target RPC time": format_seconds(r.cumulative_target_time),
+        })
+    print("Figure 10: too many databases")
+    print(ascii_table(rows))
+
+
+def _fig11(args) -> None:
+    rows = []
+    for name in ("C4", "C5", "C6", "C7"):
+        r = run_hepnos_experiment(
+            TABLE_IV[name], events_per_client=args.events,
+            pipeline_width=64 if TABLE_IV[name].batch_size == 1 else 32,
+        )
+        rows.append({
+            "config": name,
+            "batch": r.config.batch_size,
+            "cumulative RPC time": format_seconds(r.cumulative_origin_time),
+            "unaccounted": f"{100 * r.unaccounted_fraction:.1f}%",
+        })
+    print("Figure 11: unaccounted component of RPC execution time")
+    print(ascii_table(rows))
+
+
+def _fig12(args) -> None:
+    print("Figure 12: num_ofi_events_read samples")
+    for name in ("C4", "C5", "C6", "C7"):
+        r = run_hepnos_experiment(
+            TABLE_IV[name], events_per_client=args.events,
+            pipeline_width=64 if TABLE_IV[name].batch_size == 1 else 32,
+        )
+        series = [v for _, v in r.ofi_series()]
+        print(series_histogram(
+            series, bins=[4, 16, 64],
+            label=f"{name} (cap {r.config.ofi_max_events})",
+        ))
+
+
+def _fig13(args) -> None:
+    study = run_overhead_study(
+        repetitions=args.reps, events_per_client=min(args.events, 512)
+    )
+    print("Figure 13: measurement overheads")
+    print(ascii_table(study.rows()))
+
+
+def _table4(args) -> None:
+    print("Table IV: HEPnOS service configurations")
+    print(ascii_table(table_iv_rows()))
+
+
+def _table5(args) -> None:
+    result = run_hepnos_experiment(TABLE_IV["C2"], events_per_client=args.events)
+    timings = time_analysis_scripts(result)
+    print("Table V: analysis overheads")
+    print(ascii_table(timings.rows()))
+
+
+TARGETS = {
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "table4": _table4,
+    "table5": _table5,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "targets", nargs="+",
+        help=f"one or more of: {', '.join(TARGETS)}, all, list",
+    )
+    parser.add_argument("--events", type=int, default=2048,
+                        help="events per client for HEPnOS runs")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="repetitions for the overhead study")
+    args = parser.parse_args(argv)
+
+    if args.targets == ["list"]:
+        for name in TARGETS:
+            print(name)
+        return 0
+    targets = list(TARGETS) if args.targets == ["all"] else args.targets
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        parser.error(f"unknown targets: {', '.join(unknown)}")
+    for i, target in enumerate(targets):
+        if i:
+            print()
+        t0 = time.perf_counter()
+        TARGETS[target](args)
+        print(f"[{target} done in {time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""ior + Mobject experiment harness (Figures 5 and 6).
+
+One Mobject provider node with 10 ior clients colocated on the same
+physical node, exactly as §V-A: writes then reads.  Produces the
+dominant-callpath profile summary (Fig 6) and a stitched Zipkin trace of
+a single ``mobject_write_op`` showing its 12 discrete steps (Fig 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..margo import MargoInstance
+from ..net import Fabric
+from ..services.mobject import MobjectProviderNode
+from ..sim import Simulator
+from ..symbiosys import Stage, SymbiosysCollector, push
+from ..symbiosys.analysis import (
+    ProfileSummary,
+    TraceSummary,
+    profile_summary,
+    trace_summary,
+)
+from ..symbiosys.zipkin import request_to_zipkin
+from ..workloads import IorClient, IorConfig, run_ior_clients
+from .presets import FAST_TEST, Preset
+
+__all__ = ["MobjectExperimentResult", "run_mobject_experiment"]
+
+
+@dataclass
+class MobjectExperimentResult:
+    collector: SymbiosysCollector
+    makespan: float
+    clients: list[IorClient]
+
+    @property
+    def summary(self) -> ProfileSummary:
+        return profile_summary(self.collector)
+
+    @property
+    def traces(self) -> TraceSummary:
+        return trace_summary(self.collector)
+
+    def write_op_trace(self) -> Optional[object]:
+        """One complete mobject_write_op request trace (for Fig 5)."""
+        for req in self.traces.requests.values():
+            if req.roots and req.roots[0].rpc_name == "mobject_write_op":
+                if all(s.complete for s in req.roots[0].walk()):
+                    return req
+        return None
+
+    def write_op_zipkin(self) -> list[dict]:
+        req = self.write_op_trace()
+        if req is None:
+            raise RuntimeError("no complete mobject_write_op trace captured")
+        return request_to_zipkin(req)
+
+
+def run_mobject_experiment(
+    *,
+    n_clients: int = 10,
+    ior_config: Optional[IorConfig] = None,
+    stage: Stage = Stage.FULL,
+    preset: Preset = FAST_TEST,
+    n_handler_es: int = 8,
+    time_limit: float = 60.0,
+) -> MobjectExperimentResult:
+    sim = Simulator()
+    fabric = Fabric(sim, preset.fabric)
+    collector = SymbiosysCollector(stage)
+
+    provider = MobjectProviderNode(
+        sim,
+        fabric,
+        "mobject0",
+        "node0",
+        n_handler_es=n_handler_es,
+        sdskv_costs=preset.map_costs,
+        instrumentation=collector.create_instrumentation(),
+    )
+    clients = []
+    for rank in range(n_clients):
+        mi = MargoInstance(
+            sim,
+            fabric,
+            f"ior{rank}",
+            "node0",  # colocated with the provider node
+            serialization=preset.serialization,
+            ctx_switch_cost=preset.ctx_switch_cost,
+            instrumentation=collector.create_instrumentation(),
+        )
+        clients.append(
+            IorClient(mi, "mobject0", rank, ior_config or IorConfig())
+        )
+    run_ior_clients(clients)
+
+    finished = sim.run_until(
+        lambda: all(c.finished_at is not None for c in clients),
+        limit=time_limit,
+    )
+    if not finished:
+        raise RuntimeError("ior clients did not finish in time")
+    for c in clients:
+        if c.write_errors or c.read_mismatches:
+            raise RuntimeError(
+                f"ior rank {c.rank}: {c.write_errors} write errors, "
+                f"{c.read_mismatches} read mismatches"
+            )
+    return MobjectExperimentResult(
+        collector=collector,
+        makespan=max(c.finished_at for c in clients),
+        clients=clients,
+    )

@@ -1,0 +1,173 @@
+"""Overhead evaluation harness (Figure 13 and Table V).
+
+Figure 13 measures the *instrumentation* overhead: the same HEPnOS
+data-loader run at Baseline / Stage 1 / Stage 2 / Full Support, averaged
+over several repetitions.  In this reproduction the simulated workload
+timeline is identical across stages by construction (instrumentation
+adds no simulated cost, as the paper found its overhead indistinguishable
+from run-to-run variation); what the stages *do* change is the real
+Python work performed by the measurement layer, so we report wall-clock
+execution time per stage -- the honest analogue of the paper's metric --
+alongside the simulated makespan as a sanity check.
+
+Table V measures the offline analysis scripts (profile / trace / system
+summaries) over the collected data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..symbiosys import Stage
+from ..symbiosys.analysis import profile_summary, system_summary, trace_summary
+from .configs import HEPnOSConfig, TABLE_IV
+from .hepnos import HEPnOSExperimentResult, run_hepnos_experiment
+from .presets import THETA_KNL, Preset
+
+__all__ = [
+    "StageTiming",
+    "OverheadStudyResult",
+    "AnalysisTimings",
+    "run_overhead_study",
+    "time_analysis_scripts",
+    "OVERHEAD_STAGES",
+]
+
+OVERHEAD_STAGES = (Stage.OFF, Stage.STAGE1, Stage.STAGE2, Stage.FULL)
+
+_STAGE_LABELS = {
+    Stage.OFF: "Baseline",
+    Stage.STAGE1: "Stage 1",
+    Stage.STAGE2: "Stage 2",
+    Stage.FULL: "Full Support",
+}
+
+
+@dataclass
+class StageTiming:
+    stage: Stage
+    wall_times: list[float] = field(default_factory=list)
+    sim_makespans: list[float] = field(default_factory=list)
+    trace_events: int = 0
+
+    @property
+    def label(self) -> str:
+        return _STAGE_LABELS[self.stage]
+
+    @property
+    def mean_wall(self) -> float:
+        return sum(self.wall_times) / len(self.wall_times)
+
+    @property
+    def mean_makespan(self) -> float:
+        return sum(self.sim_makespans) / len(self.sim_makespans)
+
+
+@dataclass
+class OverheadStudyResult:
+    timings: dict[Stage, StageTiming]
+
+    def overhead_vs_baseline(self, stage: Stage) -> float:
+        """Relative wall-clock overhead of ``stage`` over Baseline."""
+        base = self.timings[Stage.OFF].mean_wall
+        return (self.timings[stage].mean_wall - base) / base if base > 0 else 0.0
+
+    def rows(self) -> list[dict]:
+        out = []
+        for stage in OVERHEAD_STAGES:
+            t = self.timings[stage]
+            out.append(
+                {
+                    "stage": t.label,
+                    "mean_wall_s": t.mean_wall,
+                    "mean_sim_makespan_s": t.mean_makespan,
+                    "trace_events": t.trace_events,
+                    "overhead_vs_baseline": self.overhead_vs_baseline(stage),
+                }
+            )
+        return out
+
+
+def run_overhead_study(
+    *,
+    config: HEPnOSConfig = None,
+    repetitions: int = 5,
+    events_per_client: int = 1024,
+    preset: Preset = THETA_KNL,
+    stages=OVERHEAD_STAGES,
+) -> OverheadStudyResult:
+    """Figure 13: repeat the data-loader run at each instrumentation
+    stage and time it."""
+    if config is None:
+        # The paper's overhead study used a dedicated large-scale setup;
+        # C2's shape (32 clients, 4 servers) is the closest Table IV row.
+        config = TABLE_IV["C2"]
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    timings: dict[Stage, StageTiming] = {}
+    for stage in stages:
+        timing = StageTiming(stage=stage)
+        for rep in range(repetitions):
+            t0 = time.perf_counter()
+            result = run_hepnos_experiment(
+                config,
+                events_per_client=events_per_client,
+                stage=stage,
+                preset=preset,
+                seed=1000 + rep,
+            )
+            timing.wall_times.append(time.perf_counter() - t0)
+            timing.sim_makespans.append(result.makespan)
+            timing.trace_events = max(
+                timing.trace_events, result.collector.total_trace_events
+            )
+        timings[stage] = timing
+    return OverheadStudyResult(timings=timings)
+
+
+@dataclass
+class AnalysisTimings:
+    """Table V: analysis script runtimes over one run's data."""
+
+    profile_summary_s: float
+    trace_summary_s: float
+    system_summary_s: float
+    trace_events: int
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "Profile Summary (s)": self.profile_summary_s,
+                "Trace Summary (s)": self.trace_summary_s,
+                "System Statistics Summary (s)": self.system_summary_s,
+                "trace events": self.trace_events,
+            }
+        ]
+
+
+def time_analysis_scripts(result: HEPnOSExperimentResult) -> AnalysisTimings:
+    """Time the three offline analysis scripts on collected data."""
+    collector = result.collector
+
+    t0 = time.perf_counter()
+    summary = profile_summary(collector)
+    summary.render()
+    t_profile = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    traces = trace_summary(collector)
+    traces.render()
+    traces.structure_counts()
+    t_trace = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    system_summary(collector.all_events()).render()
+    t_system = time.perf_counter() - t0
+
+    return AnalysisTimings(
+        profile_summary_s=t_profile,
+        trace_summary_s=t_trace,
+        system_summary_s=t_system,
+        trace_events=collector.total_trace_events,
+    )

@@ -1,0 +1,70 @@
+"""ASCII rendering helpers for experiment output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["ascii_table", "series_histogram", "format_seconds"]
+
+
+def ascii_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Fixed-width table from dict rows (column order from the first row
+    unless given)."""
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(str(c)) for c in cols}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for c in cols:
+            cell = row.get(c, "")
+            text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = " | ".join(str(c).ljust(widths[c]) for c in cols)
+    sep = "-+-".join("-" * widths[c] for c in cols)
+    lines = [header, sep]
+    for cells in rendered:
+        lines.append(
+            " | ".join(cell.ljust(widths[c]) for cell, c in zip(cells, cols))
+        )
+    return "\n".join(lines)
+
+
+def series_histogram(
+    values: Iterable[int], *, bins: Sequence[int], label: str = "value"
+) -> str:
+    """Textual histogram of an integer sample series (used to render the
+    Figure 12 num_ofi_events_read distributions)."""
+    values = list(values)
+    edges = list(bins)
+    counts = [0] * (len(edges) + 1)
+    for v in values:
+        for i, edge in enumerate(edges):
+            if v <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    total = max(1, len(values))
+    lines = [f"{label}: {len(values)} samples"]
+    lo = None
+    for i, edge in enumerate(edges):
+        tag = f"<= {edge}" if lo is None else f"{lo + 1}-{edge}"
+        bar = "#" * int(40 * counts[i] / total)
+        lines.append(f"  {tag:>9}: {counts[i]:>6} {bar}")
+        lo = edge
+    bar = "#" * int(40 * counts[-1] / total)
+    lines.append(f"  > {edges[-1]:>7}: {counts[-1]:>6} {bar}")
+    return "\n".join(lines)
+
+
+def format_seconds(value: float) -> str:
+    """Human scale: µs/ms/s."""
+    if value < 1e-3:
+        return f"{value * 1e6:.2f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value:.3f}s"

@@ -1,0 +1,118 @@
+"""Sonata store_multi_json experiment harness (Figure 7).
+
+One origin and one target on separate compute nodes; the benchmark
+repeatedly stores a fixed-length JSON record array in batches, then the
+target-side execution time is broken into the Table III steps.  The
+paper's instance: 50,000 records, batch size 5,000, with input
+deserialization accounting for ~27% of target execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..margo import MargoConfig, MargoInstance
+from ..net import Fabric
+from ..services.sonata import SonataClient, SonataProvider
+from ..sim import Simulator
+from ..symbiosys import Stage, SymbiosysCollector, push
+from ..symbiosys.analysis import profile_summary
+from ..workloads import generate_json_records
+from .presets import THETA_KNL, Preset
+
+__all__ = ["SonataExperimentResult", "run_sonata_experiment"]
+
+_PROVIDER_ID = 1
+
+
+@dataclass
+class SonataExperimentResult:
+    collector: SymbiosysCollector
+    makespan: float
+    n_records: int
+    batch_size: int
+
+    def store_row(self):
+        return profile_summary(self.collector).row_for("sonata_store_multi_json")
+
+    def target_execution_breakdown(self) -> dict[str, float]:
+        """Figure 7: cumulative target execution time split into input
+        deserialization, internal RDMA, document store work, and output
+        serialization."""
+        row = self.store_row()
+        exec_total = row.breakdown.get("target_execution_time", 0.0)
+        deser = row.breakdown.get("input_deserialization_time", 0.0)
+        rdma = row.breakdown.get("internal_rdma_transfer_time", 0.0)
+        out_ser = row.breakdown.get("output_serialization_time", 0.0)
+        return {
+            "input_deserialization_time": deser,
+            "internal_rdma_transfer_time": rdma,
+            "document_store_time": max(0.0, exec_total - deser),
+            "output_serialization_time": out_ser,
+            "target_execution_time": exec_total,
+        }
+
+    @property
+    def deserialization_fraction(self) -> float:
+        b = self.target_execution_breakdown()
+        denom = b["target_execution_time"] + b["internal_rdma_transfer_time"]
+        return b["input_deserialization_time"] / denom if denom > 0 else 0.0
+
+
+def run_sonata_experiment(
+    *,
+    n_records: int = 50_000,
+    batch_size: int = 5_000,
+    fields_per_record: int = 6,
+    stage: Stage = Stage.FULL,
+    preset: Preset = THETA_KNL,
+    time_limit: float = 600.0,
+) -> SonataExperimentResult:
+    sim = Simulator()
+    fabric = Fabric(sim, preset.fabric)
+    collector = SymbiosysCollector(stage)
+
+    server = MargoInstance(
+        sim,
+        fabric,
+        "sonata-svr",
+        "nodeA",
+        config=MargoConfig(n_handler_es=2),
+        hg_config=preset.hg_config(),
+        serialization=preset.serialization,
+        ctx_switch_cost=preset.ctx_switch_cost,
+        instrumentation=collector.create_instrumentation(),
+    )
+    SonataProvider(server, _PROVIDER_ID)
+    client_mi = MargoInstance(
+        sim,
+        fabric,
+        "sonata-cli",
+        "nodeB",
+        hg_config=preset.hg_config(),
+        serialization=preset.serialization,
+        ctx_switch_cost=preset.ctx_switch_cost,
+        instrumentation=collector.create_instrumentation(),
+    )
+    client = SonataClient(client_mi)
+    records = generate_json_records(
+        n_records, fields_per_record=fields_per_record
+    )
+    done = {}
+
+    def body():
+        yield from client.create_database("sonata-svr", _PROVIDER_ID, "bench")
+        yield from client.store_multi(
+            "sonata-svr", _PROVIDER_ID, "bench", records, batch_size=batch_size
+        )
+        done["at"] = sim.now
+
+    client_mi.client_ult(body(), name="sonata-bench")
+    if not sim.run_until(lambda: "at" in done, limit=time_limit):
+        raise RuntimeError("sonata benchmark did not finish in time")
+    return SonataExperimentResult(
+        collector=collector,
+        makespan=done["at"],
+        n_records=n_records,
+        batch_size=batch_size,
+    )

@@ -1,0 +1,15 @@
+"""Simulated Margo layer (DESIGN.md §2 item 5)."""
+
+from .errors import MargoError, MargoTimeoutError, RemoteRpcError
+from .hooks import NullInstrumentation
+from .instance import MargoConfig, MargoInstance, ProcessStats
+
+__all__ = [
+    "MargoConfig",
+    "MargoError",
+    "MargoInstance",
+    "MargoTimeoutError",
+    "NullInstrumentation",
+    "ProcessStats",
+    "RemoteRpcError",
+]

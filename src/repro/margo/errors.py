@@ -1,0 +1,33 @@
+"""Margo-level RPC error types."""
+
+from __future__ import annotations
+
+__all__ = ["MargoError", "RemoteRpcError", "MargoTimeoutError"]
+
+
+class MargoError(Exception):
+    """Base class for Margo RPC failures."""
+
+
+class RemoteRpcError(MargoError):
+    """The remote handler raised; the error travelled back in the
+    response payload."""
+
+    def __init__(self, rpc_name: str, target: str, detail: str):
+        super().__init__(f"{rpc_name} on {target!r} failed: {detail}")
+        self.rpc_name = rpc_name
+        self.target = target
+        self.detail = detail
+
+
+class MargoTimeoutError(MargoError):
+    """A forward did not complete within the requested timeout; the
+    handle was cancelled and any late response will be dropped."""
+
+    def __init__(self, rpc_name: str, target: str, timeout: float):
+        super().__init__(
+            f"{rpc_name} on {target!r} timed out after {timeout:g}s"
+        )
+        self.rpc_name = rpc_name
+        self.target = target
+        self.timeout = timeout

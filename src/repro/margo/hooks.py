@@ -1,0 +1,65 @@
+"""Instrumentation hook interface between Margo and SYMBIOSYS.
+
+Margo is "the ideal software layer to host the performance measurement
+system" (paper §IV-A): every RPC passes through it on both sides.  The
+hooks below are the exact interception points SYMBIOSYS uses.  The
+default :class:`NullInstrumentation` does nothing (the overhead study's
+*Baseline*); :class:`repro.symbiosys.instrument.SymbiosysInstrumentation`
+implements the real behaviour at the configured stage.
+
+Hook call sites and their Figure 2 timestamps:
+
+* ``on_forward``           -- origin, t1, caller ULT, before the post
+* ``on_forward_complete``  -- origin, t14, caller ULT, after the response
+* ``on_handler_start``     -- target, t5, handler ULT first instruction
+* ``on_respond``           -- target, t8, handler ULT entering respond
+* ``on_handler_end``       -- target, after t13, handler ULT about to exit
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..argobots import ULT
+    from ..mercury import HGHandle
+    from .instance import MargoInstance
+
+__all__ = ["NullInstrumentation"]
+
+
+class NullInstrumentation:
+    """No-op hooks: instrumentation and measurement fully disabled."""
+
+    def attach(self, mi: "MargoInstance") -> None:
+        """Called once by MargoInstance at construction."""
+
+    def on_forward(
+        self, mi: "MargoInstance", handle: "HGHandle", ult: Optional["ULT"]
+    ) -> None:
+        """Origin, t1.  May write request metadata into ``handle.header``."""
+
+    def on_forward_complete(
+        self,
+        mi: "MargoInstance",
+        handle: "HGHandle",
+        ult: Optional["ULT"],
+        t1: float,
+        t14: float,
+    ) -> None:
+        """Origin, t14.  The full origin execution interval is [t1, t14]."""
+
+    def on_handler_start(
+        self, mi: "MargoInstance", handle: "HGHandle", ult: "ULT"
+    ) -> None:
+        """Target, t5.  ``handle.marks['t4']`` holds the spawn time."""
+
+    def on_respond(
+        self, mi: "MargoInstance", handle: "HGHandle", ult: "ULT"
+    ) -> None:
+        """Target, t8, just before the response is serialized."""
+
+    def on_handler_end(
+        self, mi: "MargoInstance", handle: "HGHandle", ult: "ULT"
+    ) -> None:
+        """Target, after the response-sent callback (t13 in marks)."""

@@ -1,0 +1,35 @@
+"""Simulated Mercury RPC library with the SYMBIOSYS PVAR interface.
+
+See DESIGN.md §2 item 4 and the paper's Section IV-B.
+"""
+
+from .bulk import BulkRef
+from .core import HGConfig, HGCore, HGHandle, RequestWire, ResponseWire
+from .pvar import (
+    PvarBinding,
+    PvarClass,
+    PvarDef,
+    PvarError,
+    PvarHandle,
+    PvarRegistry,
+    PvarSession,
+)
+from .serialization import SerializationModel, estimate_size
+
+__all__ = [
+    "BulkRef",
+    "HGConfig",
+    "HGCore",
+    "HGHandle",
+    "PvarBinding",
+    "PvarClass",
+    "PvarDef",
+    "PvarError",
+    "PvarHandle",
+    "PvarRegistry",
+    "PvarSession",
+    "RequestWire",
+    "ResponseWire",
+    "SerializationModel",
+    "estimate_size",
+]

@@ -1,0 +1,39 @@
+"""Bulk-data references.
+
+Mochi services move large data (object contents, packed key-value blobs)
+through Mercury's bulk interface: the RPC metadata carries only a small
+*bulk handle descriptor*, and the target pulls the actual bytes over RDMA
+(``HGCore.bulk_pull``).  :class:`BulkRef` models that split: the real
+payload object travels with the request for simulation convenience, but
+only the descriptor size counts as RPC metadata -- the bytes are charged
+when the handler performs the bulk transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .serialization import estimate_size
+
+__all__ = ["BulkRef"]
+
+#: Encoded size of a bulk handle descriptor (address + offset + length).
+_DESCRIPTOR_SIZE = 24
+
+
+class BulkRef:
+    """A registered memory region exposed for RDMA access."""
+
+    __slots__ = ("data", "nbytes")
+
+    #: Hook honoured by :func:`repro.mercury.serialization.estimate_size`.
+    __encoded_size__ = _DESCRIPTOR_SIZE
+
+    def __init__(self, data: Any, nbytes: int = -1):
+        """``data`` is the actual payload; ``nbytes`` its registered size
+        (estimated from the payload when negative)."""
+        self.data = data
+        self.nbytes = nbytes if nbytes >= 0 else estimate_size(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BulkRef(nbytes={self.nbytes})"

@@ -1,0 +1,250 @@
+"""Mercury performance variables (PVARs) and the external tool interface.
+
+This implements Section IV-B of the paper verbatim:
+
+* **PVAR classes** (Table I): STATE, COUNTER, TIMER, LEVEL, SIZE,
+  HIGHWATERMARK, LOWWATERMARK.
+* **PVAR bindings**: ``NO_OBJECT`` for library-global variables and
+  ``HANDLE`` for variables scoped to one RPC handle, whose values "go out
+  of scope and are lost forever" once the RPC completes.
+* **The tool interface**: session init -> query -> handle allocation ->
+  sampling -> finalize, mirroring the five steps of Section IV-B-2.
+
+SYMBIOSYS (through Margo) is one client of this interface; the tests use
+it directly as an external tool would.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "PvarClass",
+    "PvarBinding",
+    "PvarDef",
+    "PvarError",
+    "PvarRegistry",
+    "PvarSession",
+    "PvarHandle",
+]
+
+
+class PvarError(RuntimeError):
+    """Protocol violation against the PVAR tool interface."""
+
+
+class PvarClass(enum.Enum):
+    """Table I: the semantic classes a PVAR can have."""
+
+    STATE = "STATE"  # one of a set of discrete states
+    COUNTER = "COUNTER"  # monotonically increasing value
+    TIMER = "TIMER"  # interval event timer
+    LEVEL = "LEVEL"  # utilization level of a resource
+    SIZE = "SIZE"  # size of a resource
+    HIGHWATERMARK = "HIGHWATERMARK"  # highest recorded value
+    LOWWATERMARK = "LOWWATERMARK"  # lowest recorded value
+
+
+class PvarBinding(enum.Enum):
+    NO_OBJECT = "NO_OBJECT"  # global scope within the Mercury instance
+    HANDLE = "HANDLE"  # bound to one RPC handle
+
+
+@dataclass(frozen=True)
+class PvarDef:
+    """Static description of one exported PVAR (what ``pvar_get_info``
+    returns to an external tool)."""
+
+    name: str
+    pvar_class: PvarClass
+    binding: PvarBinding
+    description: str
+    #: For NO_OBJECT PVARs whose value is computed on demand (e.g. the
+    #: instantaneous completion-queue depth), a zero-arg getter.
+    getter: Optional[Callable[[], Any]] = None
+
+
+class PvarRegistry:
+    """Holds the PVAR definitions and NO_OBJECT values for one Mercury
+    instance."""
+
+    def __init__(self) -> None:
+        self._defs: list[PvarDef] = []
+        self._index: dict[str, int] = {}
+        self._values: dict[str, Any] = {}
+
+    # -- definition (library side) -------------------------------------------
+
+    def define(self, pvar_def: PvarDef) -> None:
+        if pvar_def.name in self._index:
+            raise PvarError(f"duplicate PVAR {pvar_def.name!r}")
+        self._index[pvar_def.name] = len(self._defs)
+        self._defs.append(pvar_def)
+        if pvar_def.binding is PvarBinding.NO_OBJECT and pvar_def.getter is None:
+            init = 0.0 if pvar_def.pvar_class is PvarClass.TIMER else 0
+            if pvar_def.pvar_class is PvarClass.LOWWATERMARK:
+                init = None  # no sample yet
+            self._values[pvar_def.name] = init
+
+    @property
+    def num_pvars(self) -> int:
+        return len(self._defs)
+
+    def info(self, index: int) -> PvarDef:
+        if not 0 <= index < len(self._defs):
+            raise PvarError(f"PVAR index {index} out of range")
+        return self._defs[index]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise PvarError(f"unknown PVAR {name!r}") from None
+
+    # -- updates (library side) ------------------------------------------------
+
+    def _def_for_update(self, name: str) -> PvarDef:
+        d = self._defs[self.index_of(name)]
+        if d.binding is not PvarBinding.NO_OBJECT:
+            raise PvarError(f"{name!r} is HANDLE-bound; update it on the handle")
+        if d.getter is not None:
+            raise PvarError(f"{name!r} is computed; it cannot be set")
+        return d
+
+    def set(self, name: str, value: Any) -> None:
+        """Direct write (STATE / LEVEL semantics)."""
+        self._def_for_update(name)
+        self._values[name] = value
+
+    def add(self, name: str, delta: Any = 1) -> None:
+        """Increment (COUNTER semantics; LEVEL may also go up/down)."""
+        d = self._def_for_update(name)
+        if d.pvar_class is PvarClass.COUNTER and delta < 0:
+            raise PvarError(f"COUNTER {name!r} cannot decrease")
+        self._values[name] += delta
+
+    def watermark(self, name: str, value: Any) -> None:
+        """Record a sample into a HIGH/LOWWATERMARK PVAR."""
+        d = self._def_for_update(name)
+        cur = self._values[name]
+        if d.pvar_class is PvarClass.HIGHWATERMARK:
+            if cur is None or value > cur:
+                self._values[name] = value
+        elif d.pvar_class is PvarClass.LOWWATERMARK:
+            if cur is None or value < cur:
+                self._values[name] = value
+        else:
+            raise PvarError(f"{name!r} is not a watermark PVAR")
+
+    def raw_value(self, name: str) -> Any:
+        d = self._defs[self.index_of(name)]
+        if d.binding is not PvarBinding.NO_OBJECT:
+            raise PvarError(f"{name!r} is HANDLE-bound")
+        if d.getter is not None:
+            return d.getter()
+        return self._values[name]
+
+
+@dataclass
+class PvarHandle:
+    """An allocated reference to one PVAR within a session."""
+
+    session: "PvarSession"
+    index: int
+    freed: bool = False
+
+
+class PvarSession:
+    """One external tool's sampling session against a Mercury instance.
+
+    Follows the paper's five-step protocol; every step validates its
+    preconditions so misuse is caught loudly.
+    """
+
+    _next_id = 1
+
+    def __init__(self, registry: PvarRegistry):
+        self._registry = registry
+        self.session_id = PvarSession._next_id
+        PvarSession._next_id += 1
+        self._finalized = False
+        self._handles: list[PvarHandle] = []
+
+    # -- step 2: query -----------------------------------------------------
+
+    def get_num_pvars(self) -> int:
+        self._check_live()
+        return self._registry.num_pvars
+
+    def get_info(self, index: int) -> PvarDef:
+        self._check_live()
+        return self._registry.info(index)
+
+    def index_of(self, name: str) -> int:
+        self._check_live()
+        return self._registry.index_of(name)
+
+    # -- step 3: allocate handles -------------------------------------------
+
+    def handle_alloc(self, index: int) -> PvarHandle:
+        self._check_live()
+        self._registry.info(index)  # validates range
+        h = PvarHandle(session=self, index=index)
+        self._handles.append(h)
+        return h
+
+    def handle_alloc_by_name(self, name: str) -> PvarHandle:
+        return self.handle_alloc(self.index_of(name))
+
+    # -- step 4: sample -----------------------------------------------------
+
+    def read(self, pvar_handle: PvarHandle, hg_handle: Any = None) -> Any:
+        self._check_live()
+        if pvar_handle.session is not self:
+            raise PvarError("PVAR handle belongs to a different session")
+        if pvar_handle.freed:
+            raise PvarError("PVAR handle already freed")
+        d = self._registry.info(pvar_handle.index)
+        if d.binding is PvarBinding.HANDLE:
+            if hg_handle is None:
+                raise PvarError(
+                    f"{d.name!r} is HANDLE-bound; a Mercury handle is required"
+                )
+            return hg_handle.pvar_get(d.name)
+        return self._registry.raw_value(d.name)
+
+    def read_by_name(self, name: str, hg_handle: Any = None) -> Any:
+        """Convenience: allocate-free read by name (tests / tooling)."""
+        idx = self.index_of(name)
+        d = self._registry.info(idx)
+        if d.binding is PvarBinding.HANDLE:
+            if hg_handle is None:
+                raise PvarError(
+                    f"{d.name!r} is HANDLE-bound; a Mercury handle is required"
+                )
+            return hg_handle.pvar_get(d.name)
+        return self._registry.raw_value(d.name)
+
+    # -- step 5: finalize ------------------------------------------------------
+
+    def handle_free(self, pvar_handle: PvarHandle) -> None:
+        self._check_live()
+        if pvar_handle.freed:
+            raise PvarError("PVAR handle already freed")
+        pvar_handle.freed = True
+
+    def finalize(self) -> None:
+        self._check_live()
+        for h in self._handles:
+            h.freed = True
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def _check_live(self) -> None:
+        if self._finalized:
+            raise PvarError("PVAR session already finalized")

@@ -1,0 +1,77 @@
+"""Serialization cost model and payload size estimation.
+
+Real Mercury spends CPU encoding RPC metadata with a proc-based XDR-like
+encoder; the time is roughly affine in the encoded size.  The simulated
+(de)serializers charge the calling ULT ``fixed + per_byte * nbytes``
+seconds of compute, which is what the ``input_serialization_time`` /
+``input_deserialization_time`` / ``output_serialization_time`` handle
+PVARs report.
+
+``estimate_size`` gives a deterministic encoded-size estimate for the
+plain-Python payloads the services exchange, so callers don't have to
+hand-count bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SerializationModel", "estimate_size"]
+
+
+@dataclass(frozen=True)
+class SerializationModel:
+    """Affine cost model for encode/decode of RPC metadata."""
+
+    ser_fixed: float = 0.3e-6
+    ser_per_byte: float = 0.25e-9
+    deser_fixed: float = 0.35e-6
+    deser_per_byte: float = 0.3e-9
+
+    def __post_init__(self) -> None:
+        for field_name in ("ser_fixed", "ser_per_byte", "deser_fixed", "deser_per_byte"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    def ser_time(self, nbytes: int) -> float:
+        """CPU time to serialize ``nbytes`` of metadata."""
+        return self.ser_fixed + self.ser_per_byte * nbytes
+
+    def deser_time(self, nbytes: int) -> float:
+        """CPU time to deserialize ``nbytes`` of metadata."""
+        return self.deser_fixed + self.deser_per_byte * nbytes
+
+
+_OVERHEAD_PER_ITEM = 8  # length/tag prefix, like an XDR 4+4
+_NULL_SIZE = 4
+
+
+def estimate_size(payload: Any) -> int:
+    """Deterministic encoded-size estimate (bytes) for an RPC payload.
+
+    Supports the payload shapes used across the services: None, bool,
+    int, float, str, bytes, and (possibly nested) list/tuple/dict.
+    """
+    if payload is None:
+        return _NULL_SIZE
+    encoded = getattr(type(payload), "__encoded_size__", None)
+    if encoded is not None:
+        return int(encoded)
+    if isinstance(payload, bool):
+        return _NULL_SIZE
+    if isinstance(payload, int):
+        return 8
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, bytes):
+        return _OVERHEAD_PER_ITEM + len(payload)
+    if isinstance(payload, str):
+        return _OVERHEAD_PER_ITEM + len(payload.encode("utf-8"))
+    if isinstance(payload, (list, tuple)):
+        return _OVERHEAD_PER_ITEM + sum(estimate_size(v) for v in payload)
+    if isinstance(payload, dict):
+        return _OVERHEAD_PER_ITEM + sum(
+            estimate_size(k) + estimate_size(v) for k, v in payload.items()
+        )
+    raise TypeError(f"cannot estimate encoded size of {type(payload).__name__}")

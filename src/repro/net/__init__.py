@@ -1,0 +1,14 @@
+"""Simulated network fabric + OFI-style endpoints (DESIGN.md §2 item 3)."""
+
+from .endpoint import Endpoint
+from .fabric import Fabric, FabricConfig
+from .message import CQEntry, CQKind, Message
+
+__all__ = [
+    "CQEntry",
+    "CQKind",
+    "Endpoint",
+    "Fabric",
+    "FabricConfig",
+    "Message",
+]

@@ -1,0 +1,203 @@
+"""The simulated RDMA fabric.
+
+A :class:`Fabric` connects named :class:`~repro.net.endpoint.Endpoint`
+objects.  Transfer time follows a latency + size/bandwidth model with
+optional lognormal jitter; transfers between endpoints on the same node
+use the (faster) intra-node parameters, which matters for the colocated
+ior+Mobject case study.
+
+The fabric also implements one-sided RDMA reads: Mercury's bulk interface
+and the internal-RDMA metadata overflow path (t3-t4 in Figure 2) are
+RDMA gets issued by the target against origin memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..sim import Simulator
+from .endpoint import Endpoint
+from .message import CQEntry, CQKind, Message
+
+__all__ = ["Fabric", "FabricConfig"]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Latency/bandwidth parameters of the interconnect.
+
+    Defaults approximate a Cray Aries-class HPC fabric; intra-node values
+    approximate shared-memory transport.
+    """
+
+    latency: float = 1.5e-6  # one-way, seconds
+    bandwidth: float = 8e9  # bytes/second
+    intra_node_latency: float = 0.4e-6
+    intra_node_bandwidth: float = 24e9
+    #: Lognormal jitter applied multiplicatively to the latency term;
+    #: 0 disables jitter (fully deterministic wire times).
+    jitter_sigma: float = 0.0
+    #: Probability that a two-sided message is silently dropped (failure
+    #: injection; requires an RNG).  RDMA operations are not dropped --
+    #: hardware reliable transport.
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.intra_node_latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth <= 0 or self.intra_node_bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+
+
+class Fabric:
+    """Message transport between registered endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[FabricConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.sim = sim
+        self.config = config or FabricConfig()
+        self._rng = rng
+        if self.config.drop_rate > 0 and rng is None:
+            raise ValueError("drop_rate requires an RNG")
+        self._endpoints: dict[str, Endpoint] = {}
+        #: Totals for the system-statistics summary.
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.total_dropped = 0
+
+    # -- endpoint registry --------------------------------------------------
+
+    def register(self, endpoint: Endpoint) -> None:
+        if endpoint.addr in self._endpoints:
+            raise ValueError(f"duplicate endpoint address {endpoint.addr!r}")
+        self._endpoints[endpoint.addr] = endpoint
+
+    def endpoint(self, addr: str) -> Endpoint:
+        try:
+            return self._endpoints[addr]
+        except KeyError:
+            raise KeyError(f"no endpoint registered at {addr!r}") from None
+
+    def create_endpoint(self, addr: str, node: str = "") -> Endpoint:
+        ep = Endpoint(self.sim, addr, node=node)
+        self.register(ep)
+        return ep
+
+    # -- timing model ---------------------------------------------------------
+
+    def wire_time(self, src_node: str, dst_node: str, size_bytes: int) -> float:
+        """One-way transfer time for ``size_bytes`` between two nodes."""
+        same = bool(src_node) and src_node == dst_node
+        lat = self.config.intra_node_latency if same else self.config.latency
+        bw = self.config.intra_node_bandwidth if same else self.config.bandwidth
+        if self.config.jitter_sigma > 0 and self._rng is not None:
+            lat *= float(
+                np.exp(self._rng.normal(0.0, self.config.jitter_sigma))
+            )
+        return lat + size_bytes / bw
+
+    # -- two-sided send ---------------------------------------------------------
+
+    def send(
+        self,
+        msg: Message,
+        on_local_complete: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Inject ``msg`` toward its destination endpoint.
+
+        A RECV entry appears in the destination CQ after the wire time.
+        ``on_local_complete`` (if given) fires when the message has been
+        fully injected locally -- the hook the target response path uses
+        for its completion callback (t13).  Returns the delivery time.
+        """
+        src_ep = self.endpoint(msg.src)
+        dst_ep = self.endpoint(msg.dst)
+        self.total_messages += 1
+        self.total_bytes += msg.size_bytes
+
+        if (
+            self.config.drop_rate > 0
+            and self._rng is not None
+            and self._rng.random() < self.config.drop_rate
+        ):
+            # Silently lost on the wire: the local send still "completes"
+            # (no ack in this transport), but nothing is delivered.
+            self.total_dropped += 1
+            if on_local_complete is not None:
+                inject = msg.size_bytes / self.config.bandwidth
+                self.sim.call_after(inject, on_local_complete)
+            return float("inf")
+
+        inject_time = msg.size_bytes / (
+            self.config.intra_node_bandwidth
+            if src_ep.node and src_ep.node == dst_ep.node
+            else self.config.bandwidth
+        )
+        if on_local_complete is not None:
+            self.sim.call_after(inject_time, on_local_complete)
+
+        delay = self.wire_time(src_ep.node, dst_ep.node, msg.size_bytes)
+        deliver_at = self.sim.now + delay
+        self.sim.call_at(
+            deliver_at,
+            dst_ep.push,
+            CQEntry(kind=CQKind.RECV, payload=msg, enqueued_at=deliver_at),
+        )
+        return deliver_at
+
+    # -- one-sided RDMA ------------------------------------------------------------
+
+    def rdma_get(
+        self,
+        initiator: str,
+        remote: str,
+        size_bytes: int,
+        payload: object = None,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """One-sided read of ``size_bytes`` from ``remote`` into ``initiator``.
+
+        The initiator's CQ receives an RDMA_COMPLETE entry after one
+        round-trip latency plus the payload transfer time.  ``on_complete``
+        (if given) also fires at that moment, bypassing the CQ -- used by
+        the internal-RDMA metadata path, which Mercury handles inline.
+        Returns the completion time.
+        """
+        ini_ep = self.endpoint(initiator)
+        rem_ep = self.endpoint(remote)
+        self.total_messages += 1
+        self.total_bytes += size_bytes
+
+        same = bool(ini_ep.node) and ini_ep.node == rem_ep.node
+        lat = (
+            self.config.intra_node_latency if same else self.config.latency
+        )
+        bw = self.config.intra_node_bandwidth if same else self.config.bandwidth
+        # Request travels one way, data comes back: 2x latency + payload.
+        delay = 2 * lat + size_bytes / bw
+        if self.config.jitter_sigma > 0 and self._rng is not None:
+            delay *= float(np.exp(self._rng.normal(0.0, self.config.jitter_sigma)))
+        done_at = self.sim.now + delay
+        if on_complete is not None:
+            self.sim.call_at(done_at, on_complete)
+        else:
+            self.sim.call_at(
+                done_at,
+                ini_ep.push,
+                CQEntry(kind=CQKind.RDMA_COMPLETE, payload=payload, enqueued_at=done_at),
+            )
+        return done_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fabric(endpoints={len(self._endpoints)}, msgs={self.total_messages})"

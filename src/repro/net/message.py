@@ -1,0 +1,55 @@
+"""Wire messages and completion-queue entries.
+
+The network layer transports opaque payloads between endpoints; Mercury
+gives the payloads meaning (RPC requests, responses, RDMA reads).  A
+delivered message, a completed local send, and a completed RDMA transfer
+each surface as a :class:`CQEntry` in an endpoint's completion queue --
+the queue whose drain rate Figure 12 is about.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "CQEntry", "CQKind"]
+
+_msg_ids = itertools.count(1)
+
+
+class CQKind(enum.Enum):
+    """What a completion-queue entry notifies."""
+
+    RECV = "recv"  # a message arrived from the fabric
+    SEND_COMPLETE = "send_complete"  # a local send finished injecting
+    RDMA_COMPLETE = "rdma_complete"  # an RDMA get/put we initiated finished
+
+
+@dataclass
+class Message:
+    """A message in flight on the fabric."""
+
+    src: str
+    dst: str
+    size_bytes: int
+    payload: Any
+    kind: str = "data"
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")
+
+
+@dataclass
+class CQEntry:
+    """One entry in an endpoint completion queue."""
+
+    kind: CQKind
+    payload: Any
+    #: True simulated time the entry was enqueued; the gap between this and
+    #: the time it is read is the OFI backlog delay (part of the
+    #: "unaccounted" component in Figure 11).
+    enqueued_at: float = 0.0

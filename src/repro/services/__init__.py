@@ -1,0 +1,27 @@
+"""Mochi microservices built on the simulated stack (DESIGN.md §2):
+BAKE, SDSKV, Sonata, REMI, Mobject (single-node and SSG-sharded
+cluster), HEPnOS, GekkoFS, and FlameStore."""
+
+from . import (
+    bake,
+    flamestore,
+    gekkofs,
+    hepnos,
+    mobject,
+    mobject_cluster,
+    remi,
+    sdskv,
+    sonata,
+)
+
+__all__ = [
+    "bake",
+    "flamestore",
+    "gekkofs",
+    "hepnos",
+    "mobject",
+    "mobject_cluster",
+    "remi",
+    "sdskv",
+    "sonata",
+]

@@ -1,0 +1,216 @@
+"""BAKE: a microservice for storing and retrieving object blobs.
+
+Blob regions live in (simulated NVM) memory; writes pull data from the
+client through Mercury's bulk interface, reads push it back the same
+way.  ``persist`` charges the NVM flush cost.  The data paths are real:
+what a client writes is what a later read returns.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..argobots import Compute
+from ..margo import MargoInstance
+from ..mercury import BulkRef, HGHandle
+
+__all__ = ["BakeCosts", "BakeProvider", "BakeClient", "BakeRegion"]
+
+RPC_CREATE = "bake_create_rpc"
+RPC_WRITE = "bake_write_rpc"
+RPC_PERSIST = "bake_persist_rpc"
+RPC_CREATE_WRITE_PERSIST = "bake_create_write_persist_rpc"
+RPC_READ = "bake_read_rpc"
+RPC_GET_SIZE = "bake_get_size_rpc"
+_ALL_RPCS = (
+    RPC_CREATE,
+    RPC_WRITE,
+    RPC_PERSIST,
+    RPC_CREATE_WRITE_PERSIST,
+    RPC_READ,
+    RPC_GET_SIZE,
+)
+
+_region_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class BakeCosts:
+    create_fixed: float = 0.8e-6
+    write_fixed: float = 0.5e-6
+    write_per_byte: float = 0.05e-9  # memcpy into region
+    persist_fixed: float = 2.0e-6
+    persist_per_byte: float = 0.25e-9  # NVM flush
+    read_fixed: float = 0.5e-6
+    read_per_byte: float = 0.04e-9
+
+
+@dataclass
+class BakeRegion:
+    rid: int
+    capacity: int
+    data: dict[int, bytes]  # offset -> fragment
+    persisted: bool = False
+
+    @property
+    def used(self) -> int:
+        return sum(len(frag) for frag in self.data.values())
+
+
+class BakeProvider:
+    """Server-side BAKE provider."""
+
+    def __init__(
+        self,
+        mi: MargoInstance,
+        provider_id: int = 0,
+        costs: Optional[BakeCosts] = None,
+    ):
+        self.mi = mi
+        self.provider_id = provider_id
+        self.costs = costs or BakeCosts()
+        self.regions: dict[int, BakeRegion] = {}
+        mi.register(RPC_CREATE, self._h_create, provider_id)
+        mi.register(RPC_WRITE, self._h_write, provider_id)
+        mi.register(RPC_PERSIST, self._h_persist, provider_id)
+        mi.register(RPC_CREATE_WRITE_PERSIST, self._h_cwp, provider_id)
+        mi.register(RPC_READ, self._h_read, provider_id)
+        mi.register(RPC_GET_SIZE, self._h_get_size, provider_id)
+
+    def _region(self, rid: int) -> BakeRegion:
+        try:
+            return self.regions[rid]
+        except KeyError:
+            raise ValueError(f"unknown BAKE region {rid}") from None
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _h_create(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(self.costs.create_fixed)
+        rid = next(_region_ids)
+        self.regions[rid] = BakeRegion(rid=rid, capacity=inp["size"], data={})
+        yield from mi.respond(handle, {"ret": 0, "rid": rid})
+
+    def _do_write(self, mi, handle, region, offset, bulk: BulkRef) -> Generator:
+        if offset + bulk.nbytes > region.capacity:
+            raise ValueError(
+                f"write past region end: {offset}+{bulk.nbytes} > "
+                f"{region.capacity}"
+            )
+        yield from mi.bulk_transfer(handle, bulk.nbytes)
+        yield Compute(
+            self.costs.write_fixed + self.costs.write_per_byte * bulk.nbytes
+        )
+        region.data[offset] = bulk.data
+        mi.stats.add_memory(bulk.nbytes)
+
+    def _h_write(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        region = self._region(inp["rid"])
+        yield from self._do_write(mi, handle, region, inp["offset"], inp["bulk"])
+        yield from mi.respond(handle, {"ret": 0})
+
+    def _do_persist(self, region) -> Generator:
+        yield Compute(
+            self.costs.persist_fixed + self.costs.persist_per_byte * region.used
+        )
+        region.persisted = True
+
+    def _h_persist(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        region = self._region(inp["rid"])
+        yield from self._do_persist(region)
+        yield from mi.respond(handle, {"ret": 0})
+
+    def _h_cwp(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(self.costs.create_fixed)
+        rid = next(_region_ids)
+        bulk: BulkRef = inp["bulk"]
+        region = self.regions[rid] = BakeRegion(
+            rid=rid, capacity=bulk.nbytes, data={}
+        )
+        yield from self._do_write(mi, handle, region, 0, bulk)
+        yield from self._do_persist(region)
+        yield from mi.respond(handle, {"ret": 0, "rid": rid})
+
+    def _h_read(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        region = self._region(inp["rid"])
+        fragment = region.data.get(inp["offset"])
+        if fragment is None:
+            yield from mi.respond(handle, {"ret": -1, "bulk": None})
+            return
+        nbytes = len(fragment)
+        yield Compute(self.costs.read_fixed + self.costs.read_per_byte * nbytes)
+        # Push the data back to the origin over RDMA.
+        yield from mi.bulk_transfer(handle, nbytes)
+        yield from mi.respond(handle, {"ret": 0, "bulk": BulkRef(fragment, 0)})
+
+    def _h_get_size(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        region = self._region(inp["rid"])
+        yield Compute(self.costs.read_fixed)
+        yield from mi.respond(handle, {"ret": 0, "size": region.used})
+
+
+class BakeClient:
+    """Client-side BAKE wrapper."""
+
+    def __init__(self, mi: MargoInstance):
+        self.mi = mi
+        for rpc in _ALL_RPCS:
+            mi.register(rpc)
+
+    def create(self, target: str, provider_id: int, size: int) -> Generator:
+        out = yield from self.mi.forward(
+            target, RPC_CREATE, {"size": size}, provider_id
+        )
+        return out["rid"]
+
+    def write(
+        self, target: str, provider_id: int, rid: int, offset: int, data: bytes
+    ) -> Generator:
+        out = yield from self.mi.forward(
+            target,
+            RPC_WRITE,
+            {"rid": rid, "offset": offset, "bulk": BulkRef(data, len(data))},
+            provider_id,
+        )
+        return out["ret"]
+
+    def persist(self, target: str, provider_id: int, rid: int) -> Generator:
+        out = yield from self.mi.forward(
+            target, RPC_PERSIST, {"rid": rid}, provider_id
+        )
+        return out["ret"]
+
+    def create_write_persist(
+        self, target: str, provider_id: int, data: bytes
+    ) -> Generator:
+        out = yield from self.mi.forward(
+            target,
+            RPC_CREATE_WRITE_PERSIST,
+            {"bulk": BulkRef(data, len(data))},
+            provider_id,
+        )
+        return out["rid"]
+
+    def read(
+        self, target: str, provider_id: int, rid: int, offset: int = 0
+    ) -> Generator:
+        out = yield from self.mi.forward(
+            target, RPC_READ, {"rid": rid, "offset": offset}, provider_id
+        )
+        if out["ret"] != 0:
+            return None
+        return out["bulk"].data
+
+    def get_size(self, target: str, provider_id: int, rid: int) -> Generator:
+        out = yield from self.mi.forward(
+            target, RPC_GET_SIZE, {"rid": rid}, provider_id
+        )
+        return out["size"]

@@ -1,0 +1,284 @@
+"""FlameStore: a Mochi service for distributed deep-learning workflows.
+
+Cited by the paper as one of the services Mochi enables.  FlameStore
+checkpoints neural-network models: a *master* keeps the model registry
+(layer table, placement, status) while *storage workers* hold the layer
+tensors in BAKE regions.  Clients register a model, push layers to their
+assigned workers through the bulk path, and commit; a committed model
+can be reloaded bit-exactly.
+
+Composition: master provider (registry) + N x BAKE provider (tensors),
+placement by round-robin over an SSG group -- a different shape from
+Mobject/HEPnOS, which is the point of including it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..argobots import Compute
+from ..margo import MargoConfig, MargoInstance
+from ..mercury import HGHandle
+from ..net import Fabric
+from ..sim import Simulator
+from ..ssg import SSGGroup
+from .bake import BakeClient, BakeProvider
+
+__all__ = ["FlameStoreDeployment", "FlameStoreClient", "FlameStoreError"]
+
+RPC_REGISTER = "flamestore_register_model"
+RPC_COMMIT_LAYER = "flamestore_commit_layer"
+RPC_COMMIT_MODEL = "flamestore_commit_model"
+RPC_GET_MODEL = "flamestore_get_model"
+RPC_LIST_MODELS = "flamestore_list_models"
+_MASTER_RPCS = (
+    RPC_REGISTER,
+    RPC_COMMIT_LAYER,
+    RPC_COMMIT_MODEL,
+    RPC_GET_MODEL,
+    RPC_LIST_MODELS,
+)
+
+PID_MASTER = 1
+PID_BAKE = 1
+
+_REGISTRY_COST = 1.0e-6
+
+
+class FlameStoreError(RuntimeError):
+    """Client-visible FlameStore failure."""
+
+
+@dataclass
+class _LayerInfo:
+    name: str
+    nbytes: int
+    worker: str
+    rid: Optional[int] = None  # BAKE region once committed
+
+
+@dataclass
+class _ModelInfo:
+    name: str
+    layers: dict[str, _LayerInfo] = field(default_factory=dict)
+    committed: bool = False
+
+
+class _Master:
+    """The registry provider."""
+
+    def __init__(self, mi: MargoInstance, group: SSGGroup):
+        self.mi = mi
+        self.group = group
+        self.models: dict[str, _ModelInfo] = {}
+        self._rr = 0
+        mi.register(RPC_REGISTER, self._h_register, PID_MASTER)
+        mi.register(RPC_COMMIT_LAYER, self._h_commit_layer, PID_MASTER)
+        mi.register(RPC_COMMIT_MODEL, self._h_commit_model, PID_MASTER)
+        mi.register(RPC_GET_MODEL, self._h_get_model, PID_MASTER)
+        mi.register(RPC_LIST_MODELS, self._h_list_models, PID_MASTER)
+
+    def _h_register(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_REGISTRY_COST)
+        name = inp["model"]
+        if name in self.models:
+            yield from mi.respond(handle, {"ret": -1, "err": "exists"})
+            return
+        model = _ModelInfo(name=name)
+        placement = {}
+        for layer_name, nbytes in inp["layers"]:
+            worker = self.group.address_of(self._rr % self.group.size)
+            self._rr += 1
+            model.layers[layer_name] = _LayerInfo(
+                name=layer_name, nbytes=nbytes, worker=worker
+            )
+            placement[layer_name] = worker
+        self.models[name] = model
+        yield from mi.respond(handle, {"ret": 0, "placement": placement})
+
+    def _h_commit_layer(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_REGISTRY_COST)
+        model = self.models.get(inp["model"])
+        layer = model.layers.get(inp["layer"]) if model else None
+        if layer is None:
+            yield from mi.respond(handle, {"ret": -1, "err": "unknown layer"})
+            return
+        layer.rid = inp["rid"]
+        yield from mi.respond(handle, {"ret": 0})
+
+    def _h_commit_model(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_REGISTRY_COST)
+        model = self.models.get(inp["model"])
+        if model is None:
+            yield from mi.respond(handle, {"ret": -1, "err": "unknown model"})
+            return
+        missing = [l.name for l in model.layers.values() if l.rid is None]
+        if missing:
+            yield from mi.respond(
+                handle, {"ret": -1, "err": f"missing layers: {missing}"}
+            )
+            return
+        model.committed = True
+        yield from mi.respond(handle, {"ret": 0})
+
+    def _h_get_model(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_REGISTRY_COST)
+        model = self.models.get(inp["model"])
+        if model is None:
+            yield from mi.respond(handle, {"ret": -1, "err": "unknown model"})
+            return
+        table = {
+            l.name: {"worker": l.worker, "rid": l.rid, "nbytes": l.nbytes}
+            for l in model.layers.values()
+        }
+        yield from mi.respond(
+            handle, {"ret": 0, "committed": model.committed, "layers": table}
+        )
+
+    def _h_list_models(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        yield from mi.get_input(handle)
+        yield Compute(_REGISTRY_COST * max(1, len(self.models)))
+        yield from mi.respond(
+            handle,
+            {
+                "ret": 0,
+                "models": sorted(
+                    (m.name, m.committed) for m in self.models.values()
+                ),
+            },
+        )
+
+
+class FlameStoreDeployment:
+    """Master + N storage workers."""
+
+    def __init__(self) -> None:
+        self.master: Optional[_Master] = None
+        self.workers: list[MargoInstance] = []
+        self.bake_providers: list[BakeProvider] = []
+        self.group = SSGGroup("flamestore-workers")
+
+    @classmethod
+    def deploy(
+        cls,
+        sim: Simulator,
+        fabric: Fabric,
+        *,
+        n_workers: int,
+        n_handler_es: int = 2,
+        instrumentation_factory=None,
+    ) -> "FlameStoreDeployment":
+        if n_workers < 1:
+            raise ValueError("need at least one storage worker")
+        dep = cls()
+        mk_instr = instrumentation_factory or (lambda: None)
+        for i in range(n_workers):
+            mi = MargoInstance(
+                sim,
+                fabric,
+                f"flame-worker{i}",
+                f"fnode{i}",
+                config=MargoConfig(n_handler_es=n_handler_es),
+                instrumentation=mk_instr(),
+            )
+            dep.workers.append(mi)
+            dep.bake_providers.append(BakeProvider(mi, PID_BAKE))
+            dep.group.join(mi.addr)
+        master_mi = MargoInstance(
+            sim,
+            fabric,
+            "flame-master",
+            "fnode0",
+            config=MargoConfig(n_handler_es=n_handler_es),
+            instrumentation=mk_instr(),
+        )
+        dep.master = _Master(master_mi, dep.group)
+        return dep
+
+    @property
+    def master_addr(self) -> str:
+        return self.master.mi.addr
+
+
+class FlameStoreClient:
+    """Workflow-side API: register -> write layers -> commit -> reload."""
+
+    def __init__(self, mi: MargoInstance, deployment: FlameStoreDeployment):
+        self.mi = mi
+        self.deployment = deployment
+        self.bake = BakeClient(mi)
+        for rpc in _MASTER_RPCS:
+            mi.register(rpc)
+
+    def _master(self) -> str:
+        return self.deployment.master_addr
+
+    def register_model(
+        self, model: str, layers: list[tuple[str, int]]
+    ) -> Generator:
+        """Returns the layer -> worker placement chosen by the master."""
+        out = yield from self.mi.forward(
+            self._master(), RPC_REGISTER,
+            {"model": model, "layers": layers}, PID_MASTER,
+        )
+        if out["ret"] != 0:
+            raise FlameStoreError(f"register {model!r}: {out['err']}")
+        return out["placement"]
+
+    def write_layer(
+        self, model: str, layer: str, placement: dict, data: bytes
+    ) -> Generator:
+        """Push one layer tensor to its worker and record it."""
+        worker = placement.get(layer)
+        if worker is None:
+            raise FlameStoreError(f"layer {layer!r} not in placement")
+        rid = yield from self.bake.create_write_persist(worker, PID_BAKE, data)
+        out = yield from self.mi.forward(
+            self._master(), RPC_COMMIT_LAYER,
+            {"model": model, "layer": layer, "rid": rid}, PID_MASTER,
+        )
+        if out["ret"] != 0:
+            raise FlameStoreError(f"commit layer {layer!r}: {out['err']}")
+
+    def commit_model(self, model: str) -> Generator:
+        out = yield from self.mi.forward(
+            self._master(), RPC_COMMIT_MODEL, {"model": model}, PID_MASTER
+        )
+        if out["ret"] != 0:
+            raise FlameStoreError(f"commit {model!r}: {out['err']}")
+
+    def checkpoint(self, model: str, tensors: dict[str, bytes]) -> Generator:
+        """Convenience: register + write all layers + commit."""
+        placement = yield from self.register_model(
+            model, [(name, len(data)) for name, data in tensors.items()]
+        )
+        for name, data in tensors.items():
+            yield from self.write_layer(model, name, placement, data)
+        yield from self.commit_model(model)
+        return placement
+
+    def load_model(self, model: str) -> Generator:
+        """Reload every layer of a committed model."""
+        out = yield from self.mi.forward(
+            self._master(), RPC_GET_MODEL, {"model": model}, PID_MASTER
+        )
+        if out["ret"] != 0:
+            raise FlameStoreError(f"get {model!r}: {out['err']}")
+        if not out["committed"]:
+            raise FlameStoreError(f"model {model!r} is not committed")
+        tensors = {}
+        for name, info in out["layers"].items():
+            data = yield from self.bake.read(info["worker"], PID_BAKE, info["rid"])
+            tensors[name] = data
+        return tensors
+
+    def list_models(self) -> Generator:
+        out = yield from self.mi.forward(
+            self._master(), RPC_LIST_MODELS, {}, PID_MASTER
+        )
+        return out["models"]

@@ -1,0 +1,374 @@
+"""GekkoFS: a temporary distributed filesystem with relaxed semantics.
+
+One of the Mochi-enabled services the paper lists.  The real system
+(Vef et al., CLUSTER'18) distributes both metadata and fixed-size data
+chunks across daemons by hashing paths -- there is no central metadata
+server and no directory hierarchy walk.  This implementation follows
+that design over the simulated stack:
+
+* every daemon runs metadata and chunk handlers,
+* the *metadata owner* of a path is ``hash(path) mod N``,
+* the *chunk owner* of ``(path, chunk_index)`` is hashed independently,
+  so large files stripe across all daemons,
+* ``readdir`` broadcasts a prefix scan to every daemon (GekkoFS's
+  relaxed, hierarchy-free directory semantics),
+* chunk payloads move through the bulk interface.
+
+Data paths are real: what ``write`` stores, ``read`` returns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..argobots import Compute
+from ..margo import MargoConfig, MargoInstance
+from ..mercury import BulkRef, HGHandle
+from ..net import Fabric
+from ..sim import Simulator
+from ..ssg import SSGGroup
+
+__all__ = ["GekkoFSCluster", "GekkoFSClient", "GekkoFSError", "CHUNK_SIZE"]
+
+#: Chunk size (the real default is 512 KiB; scaled for simulation).
+CHUNK_SIZE = 64 * 1024
+
+RPC_CREATE = "gkfs_create_rpc"
+RPC_STAT = "gkfs_stat_rpc"
+RPC_REMOVE = "gkfs_remove_rpc"
+RPC_UPDATE_SIZE = "gkfs_update_size_rpc"
+RPC_WRITE_CHUNK = "gkfs_write_chunk_rpc"
+RPC_READ_CHUNK = "gkfs_read_chunk_rpc"
+RPC_READDIR = "gkfs_readdir_rpc"
+_ALL_RPCS = (
+    RPC_CREATE,
+    RPC_STAT,
+    RPC_REMOVE,
+    RPC_UPDATE_SIZE,
+    RPC_WRITE_CHUNK,
+    RPC_READ_CHUNK,
+    RPC_READDIR,
+)
+
+PID_GKFS = 1
+
+_MD_COST = 0.6e-6  # metadata map operation
+_CHUNK_FIXED = 0.8e-6
+_CHUNK_PER_BYTE = 0.05e-9  # memcpy into the chunk store
+
+
+class GekkoFSError(RuntimeError):
+    """Client-visible filesystem error (ENOENT/EEXIST analogues)."""
+
+
+def _hash(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "little")
+
+
+@dataclass
+class _Metadata:
+    path: str
+    size: int
+    mode: int
+    ctime: float
+
+
+class _Daemon:
+    """One GekkoFS daemon process: metadata map + chunk store."""
+
+    def __init__(self, mi: MargoInstance):
+        self.mi = mi
+        self.metadata: dict[str, _Metadata] = {}
+        self.chunks: dict[tuple[str, int], bytes] = {}
+        mi.register(RPC_CREATE, self._h_create, PID_GKFS)
+        mi.register(RPC_STAT, self._h_stat, PID_GKFS)
+        mi.register(RPC_REMOVE, self._h_remove, PID_GKFS)
+        mi.register(RPC_UPDATE_SIZE, self._h_update_size, PID_GKFS)
+        mi.register(RPC_WRITE_CHUNK, self._h_write_chunk, PID_GKFS)
+        mi.register(RPC_READ_CHUNK, self._h_read_chunk, PID_GKFS)
+        mi.register(RPC_READDIR, self._h_readdir, PID_GKFS)
+
+    # -- metadata handlers ---------------------------------------------------
+
+    def _h_create(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_MD_COST)
+        path = inp["path"]
+        if path in self.metadata:
+            yield from mi.respond(handle, {"ret": -1, "err": "EEXIST"})
+            return
+        self.metadata[path] = _Metadata(
+            path=path, size=0, mode=inp.get("mode", 0o644), ctime=mi.sim.now
+        )
+        yield from mi.respond(handle, {"ret": 0})
+
+    def _h_stat(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_MD_COST)
+        md = self.metadata.get(inp["path"])
+        if md is None:
+            yield from mi.respond(handle, {"ret": -1, "err": "ENOENT"})
+            return
+        yield from mi.respond(
+            handle,
+            {"ret": 0, "size": md.size, "mode": md.mode, "ctime": md.ctime},
+        )
+
+    def _h_remove(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_MD_COST)
+        md = self.metadata.pop(inp["path"], None)
+        if md is None:
+            yield from mi.respond(handle, {"ret": -1, "err": "ENOENT"})
+            return
+        yield from mi.respond(handle, {"ret": 0, "size": md.size})
+
+    def _h_update_size(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_MD_COST)
+        md = self.metadata.get(inp["path"])
+        if md is None:
+            yield from mi.respond(handle, {"ret": -1, "err": "ENOENT"})
+            return
+        md.size = max(md.size, inp["size"])
+        yield from mi.respond(handle, {"ret": 0, "size": md.size})
+
+    # -- chunk handlers ---------------------------------------------------------
+
+    def _h_write_chunk(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        bulk: BulkRef = inp["bulk"]
+        yield from mi.bulk_transfer(handle, bulk.nbytes)
+        yield Compute(_CHUNK_FIXED + _CHUNK_PER_BYTE * bulk.nbytes)
+        key = (inp["path"], inp["chunk"])
+        offset = inp.get("offset", 0)
+        data: bytes = bulk.data
+        existing = self.chunks.get(key, b"")
+        if offset > len(existing):
+            existing = existing + b"\x00" * (offset - len(existing))
+        merged = existing[:offset] + data + existing[offset + len(data):]
+        before = len(self.chunks.get(key, b""))
+        self.chunks[key] = merged
+        mi.stats.add_memory(len(merged) - before)
+        yield from mi.respond(handle, {"ret": 0, "stored": len(data)})
+
+    def _h_read_chunk(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        yield Compute(_CHUNK_FIXED)
+        key = (inp["path"], inp["chunk"])
+        data = self.chunks.get(key)
+        if data is None:
+            yield from mi.respond(handle, {"ret": -1, "bulk": None})
+            return
+        offset = inp.get("offset", 0)
+        size = inp.get("size")
+        view = data[offset: offset + size if size is not None else None]
+        yield from mi.bulk_transfer(handle, len(view))
+        yield from mi.respond(handle, {"ret": 0, "bulk": BulkRef(view, 0)})
+
+    def _h_readdir(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        prefix = inp["prefix"]
+        yield Compute(_MD_COST * max(1, len(self.metadata)))
+        names = sorted(p for p in self.metadata if p.startswith(prefix))
+        yield from mi.respond(handle, {"ret": 0, "entries": BulkRef(names)})
+
+
+class GekkoFSCluster:
+    """N GekkoFS daemons joined into an SSG group."""
+
+    def __init__(self) -> None:
+        self.daemons: list[_Daemon] = []
+        self.group = SSGGroup("gekkofs")
+
+    @classmethod
+    def deploy(
+        cls,
+        sim: Simulator,
+        fabric: Fabric,
+        *,
+        n_daemons: int,
+        n_handler_es: int = 4,
+        instrumentation_factory=None,
+        addr_prefix: str = "gkfs",
+        node_prefix: str = "gnode",
+    ) -> "GekkoFSCluster":
+        if n_daemons < 1:
+            raise ValueError("need at least one daemon")
+        cluster = cls()
+        mk_instr = instrumentation_factory or (lambda: None)
+        for i in range(n_daemons):
+            mi = MargoInstance(
+                sim,
+                fabric,
+                f"{addr_prefix}{i}",
+                f"{node_prefix}{i}",
+                config=MargoConfig(n_handler_es=n_handler_es),
+                instrumentation=mk_instr(),
+            )
+            cluster.daemons.append(_Daemon(mi))
+            cluster.group.join(mi.addr)
+        return cluster
+
+    def metadata_owner(self, path: str) -> str:
+        return self.group.member_for_key(f"md:{path}")
+
+    def chunk_owner(self, path: str, chunk: int) -> str:
+        return self.group.member_for_key(f"ck:{path}:{chunk}")
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(len(d.chunks) for d in self.daemons)
+
+
+class GekkoFSClient:
+    """POSIX-like client API (generators; run inside a client ULT)."""
+
+    def __init__(self, mi: MargoInstance, cluster: GekkoFSCluster,
+                 chunk_size: int = CHUNK_SIZE):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.mi = mi
+        self.cluster = cluster
+        self.chunk_size = chunk_size
+        for rpc in _ALL_RPCS:
+            mi.register(rpc)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _md(self, path: str) -> str:
+        return self.cluster.metadata_owner(path)
+
+    def _check(self, out: dict, path: str) -> dict:
+        if out["ret"] != 0:
+            raise GekkoFSError(f"{out.get('err', 'EIO')}: {path}")
+        return out
+
+    # -- POSIX-like surface ----------------------------------------------------------
+
+    def create(self, path: str, mode: int = 0o644) -> Generator:
+        out = yield from self.mi.forward(
+            self._md(path), RPC_CREATE, {"path": path, "mode": mode}, PID_GKFS
+        )
+        self._check(out, path)
+
+    def stat(self, path: str) -> Generator:
+        out = yield from self.mi.forward(
+            self._md(path), RPC_STAT, {"path": path}, PID_GKFS
+        )
+        self._check(out, path)
+        return {"size": out["size"], "mode": out["mode"], "ctime": out["ctime"]}
+
+    def unlink(self, path: str) -> Generator:
+        out = yield from self.mi.forward(
+            self._md(path), RPC_REMOVE, {"path": path}, PID_GKFS
+        )
+        self._check(out, path)
+        # Relaxed semantics: chunk garbage is collected lazily; here we
+        # drop the chunks eagerly, one RPC per owner touched.
+        size = out["size"]
+        n_chunks = -(-size // self.chunk_size) if size else 0
+        for chunk in range(n_chunks):
+            owner = self.cluster.chunk_owner(path, chunk)
+            daemon = next(
+                d for d in self.cluster.daemons if d.mi.addr == owner
+            )
+            daemon.chunks.pop((path, chunk), None)
+
+    def write(self, path: str, offset: int, data: bytes) -> Generator:
+        """Striped chunk writes, issued concurrently (one ULT per chunk)."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        # Split into per-chunk pieces.
+        pieces = []
+        pos = offset
+        cursor = 0
+        while cursor < len(data):
+            chunk = pos // self.chunk_size
+            in_chunk = pos % self.chunk_size
+            take = min(self.chunk_size - in_chunk, len(data) - cursor)
+            pieces.append((chunk, in_chunk, data[cursor: cursor + take]))
+            pos += take
+            cursor += take
+
+        ults = [
+            self.mi.rt.spawn(
+                self._write_piece(path, chunk, in_chunk, piece),
+                self.mi.primary_pool,
+                name=f"gkfs.write.{chunk}",
+            )
+            for chunk, in_chunk, piece in pieces
+        ]
+        yield from self.mi.rt.join_all(ults)
+        out = yield from self.mi.forward(
+            self._md(path),
+            RPC_UPDATE_SIZE,
+            {"path": path, "size": offset + len(data)},
+            PID_GKFS,
+        )
+        self._check(out, path)
+        return len(data)
+
+    def _write_piece(self, path, chunk, in_chunk, piece) -> Generator:
+        out = yield from self.mi.forward(
+            self.cluster.chunk_owner(path, chunk),
+            RPC_WRITE_CHUNK,
+            {
+                "path": path,
+                "chunk": chunk,
+                "offset": in_chunk,
+                "bulk": BulkRef(piece, len(piece)),
+            },
+            PID_GKFS,
+        )
+        self._check(out, path)
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        """Gather striped chunks; returns the bytes actually available."""
+        md = yield from self.stat(path)
+        end = min(offset + size, md["size"])
+        if end <= offset:
+            return b""
+        parts: dict[int, bytes] = {}
+        requests = []
+        pos = offset
+        while pos < end:
+            chunk = pos // self.chunk_size
+            in_chunk = pos % self.chunk_size
+            take = min(self.chunk_size - in_chunk, end - pos)
+            requests.append((pos, chunk, in_chunk, take))
+            pos += take
+
+        def read_piece(key, chunk, in_chunk, take) -> Generator:
+            out = yield from self.mi.forward(
+                self.cluster.chunk_owner(path, chunk),
+                RPC_READ_CHUNK,
+                {"path": path, "chunk": chunk, "offset": in_chunk, "size": take},
+                PID_GKFS,
+            )
+            self._check(out, path)
+            parts[key] = out["bulk"].data
+
+        ults = [
+            self.mi.rt.spawn(
+                read_piece(pos_, chunk, in_chunk, take),
+                self.mi.primary_pool,
+                name=f"gkfs.read.{chunk}",
+            )
+            for pos_, chunk, in_chunk, take in requests
+        ]
+        yield from self.mi.rt.join_all(ults)
+        return b"".join(parts[k] for k in sorted(parts))
+
+    def readdir(self, prefix: str) -> Generator:
+        """Broadcast prefix scan across every daemon (GekkoFS-style)."""
+        entries: list[str] = []
+        for member in self.cluster.group.members:
+            out = yield from self.mi.forward(
+                member, RPC_READDIR, {"prefix": prefix}, PID_GKFS
+            )
+            self._check(out, prefix)
+            entries.extend(out["entries"].data)
+        return sorted(entries)

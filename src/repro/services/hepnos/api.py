@@ -1,0 +1,144 @@
+"""HEPnOS navigation API: datasets > runs > subruns > events.
+
+Mirrors the object-oriented C++ client API the production service
+exposes: a :class:`DataSet` creates and iterates :class:`Run` objects,
+runs hold :class:`SubRun` objects, and subruns store/load events.  All
+structural markers and event payloads live in SDSKV through the same
+``put_packed``/``get``/``list_keyvals`` path the data-loader uses, so
+everything written here is really stored and really listable.
+
+All methods that touch the service are generators (they run inside a
+client ULT)::
+
+    ds = DataSet(client, "NOvA")
+    run = yield from ds.create_run(1)
+    sr = yield from run.create_subrun(0)
+    yield from sr.store_event(42, payload)
+    data = yield from sr.event(42)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .hierarchy import event_key, parse_event_key
+from .service import HEPnOSClient
+
+__all__ = ["DataSet", "Run", "SubRun"]
+
+_MARKER = b""  # structural keys store an empty payload
+
+
+def _run_marker(dataset: str, run: int) -> str:
+    return event_key(dataset, run, 0, 0) + "#run"
+
+
+def _subrun_marker(dataset: str, run: int, subrun: int) -> str:
+    return event_key(dataset, run, subrun, 0) + "#subrun"
+
+
+class DataSet:
+    """Top-level container, addressed by name."""
+
+    def __init__(self, client: HEPnOSClient, name: str):
+        self.client = client
+        self.name = name
+
+    def create_run(self, number: int) -> Generator:
+        """Create (idempotently) and return a Run."""
+        yield from self.client.store_event(
+            _run_marker(self.name, number), _MARKER
+        )
+        return Run(self.client, self.name, number)
+
+    def run(self, number: int) -> Generator:
+        """Return the Run if its marker exists, else None."""
+        value = yield from self.client.load_event(_run_marker(self.name, number))
+        if value is None:
+            return None
+        return Run(self.client, self.name, number)
+
+    def runs(self) -> Generator:
+        """All runs in the dataset, in numeric order."""
+        items = yield from self.client.list_events(f"{self.name}%")
+        numbers = sorted(
+            parse_event_key(key[: -len("#run")]).run
+            for key, _ in items
+            if key.endswith("#run")
+        )
+        return [Run(self.client, self.name, n) for n in numbers]
+
+
+class Run:
+    """One run within a dataset."""
+
+    def __init__(self, client: HEPnOSClient, dataset: str, number: int):
+        self.client = client
+        self.dataset = dataset
+        self.number = number
+
+    def create_subrun(self, number: int) -> Generator:
+        yield from self.client.store_event(
+            _subrun_marker(self.dataset, self.number, number), _MARKER
+        )
+        return SubRun(self.client, self.dataset, self.number, number)
+
+    def subruns(self) -> Generator:
+        items = yield from self.client.list_events(f"{self.dataset}%")
+        numbers = sorted(
+            parse_event_key(key[: -len("#subrun")]).subrun
+            for key, _ in items
+            if key.endswith("#subrun")
+            and parse_event_key(key[: -len("#subrun")]).run == self.number
+        )
+        return [
+            SubRun(self.client, self.dataset, self.number, n) for n in numbers
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Run({self.dataset!r}, {self.number})"
+
+
+class SubRun:
+    """One subrun: the event container."""
+
+    def __init__(
+        self, client: HEPnOSClient, dataset: str, run: int, number: int
+    ):
+        self.client = client
+        self.dataset = dataset
+        self.run = run
+        self.number = number
+
+    def _key(self, event: int) -> str:
+        return event_key(self.dataset, self.run, self.number, event)
+
+    def store_event(self, number: int, payload: bytes) -> Generator:
+        yield from self.client.store_event(self._key(number), payload)
+
+    def store_events(self, pairs: list[tuple[int, bytes]]) -> Generator:
+        """Batch store through the put_packed path (grouped by database,
+        like the data-loader)."""
+        kv = [(self._key(n), payload) for n, payload in pairs]
+        groups = self.client.group_by_database(kv)
+        for db_index, group in sorted(groups.items()):
+            yield from self.client.put_packed_to(db_index, group)
+
+    def event(self, number: int) -> Generator:
+        value = yield from self.client.load_event(self._key(number))
+        return value
+
+    def events(self) -> Generator:
+        """All (event number, payload) pairs, in numeric order."""
+        prefix = self._key(0)[: -9]  # strip the event-number field
+        items = yield from self.client.list_events(prefix)
+        out = []
+        for key, value in items:
+            if "#" in key:
+                continue  # structural marker
+            parsed = parse_event_key(key)
+            out.append((parsed.event, value))
+        return sorted(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SubRun({self.dataset!r}, run={self.run}, subrun={self.number})"

@@ -1,0 +1,55 @@
+"""HEPnOS data hierarchy: datasets > runs > subruns > events.
+
+Events are serialized physics objects addressed by a canonical string
+key.  Key encoding uses zero-padded fixed-width numbers so that
+lexicographic ordering equals numeric ordering -- the property HEPnOS
+relies on for range listings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EventKey", "event_key", "parse_event_key"]
+
+_WIDTH = 9
+_SEP = "%"
+
+
+@dataclass(frozen=True, order=True)
+class EventKey:
+    dataset: str
+    run: int
+    subrun: int
+    event: int
+
+    def __post_init__(self) -> None:
+        if _SEP in self.dataset:
+            raise ValueError(f"dataset name may not contain {_SEP!r}")
+        for field_name in ("run", "subrun", "event"):
+            value = getattr(self, field_name)
+            if not 0 <= value < 10**_WIDTH:
+                raise ValueError(f"{field_name} out of range: {value}")
+
+    def encode(self) -> str:
+        return _SEP.join(
+            (
+                self.dataset,
+                f"{self.run:0{_WIDTH}d}",
+                f"{self.subrun:0{_WIDTH}d}",
+                f"{self.event:0{_WIDTH}d}",
+            )
+        )
+
+
+def event_key(dataset: str, run: int, subrun: int, event: int) -> str:
+    """Canonical storage key for one event."""
+    return EventKey(dataset, run, subrun, event).encode()
+
+
+def parse_event_key(key: str) -> EventKey:
+    parts = key.split(_SEP)
+    if len(parts) != 4:
+        raise ValueError(f"malformed event key {key!r}")
+    dataset, run, subrun, event = parts
+    return EventKey(dataset, int(run), int(subrun), int(event))

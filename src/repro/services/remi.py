@@ -1,0 +1,106 @@
+"""REMI: resource migration between microservice providers.
+
+A REMI *fileset* is a named bundle of files (name -> bytes).  Migration
+pulls every file from the origin provider through the bulk interface and
+installs it locally, optionally removing the source copy -- the
+"shifting of data between microservice instances" the paper lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..argobots import Compute
+from ..margo import MargoInstance
+from ..mercury import BulkRef, HGHandle
+
+__all__ = ["RemiFileset", "RemiProvider", "RemiClient"]
+
+RPC_MIGRATE = "remi_migrate_rpc"
+
+_ALL_RPCS = (RPC_MIGRATE,)
+
+
+@dataclass
+class RemiFileset:
+    name: str
+    files: dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self.files.values())
+
+
+class RemiProvider:
+    """Hosts filesets and accepts migrations."""
+
+    #: Cost of installing one migrated file (metadata + fsync-ish).
+    install_fixed = 1.5e-6
+    install_per_byte = 0.15e-9
+
+    def __init__(self, mi: MargoInstance, provider_id: int = 0):
+        self.mi = mi
+        self.provider_id = provider_id
+        self.filesets: dict[str, RemiFileset] = {}
+        mi.register(RPC_MIGRATE, self._h_migrate, provider_id)
+
+    def add_fileset(self, fileset: RemiFileset) -> None:
+        if fileset.name in self.filesets:
+            raise ValueError(f"fileset {fileset.name!r} already present")
+        self.filesets[fileset.name] = fileset
+        self.mi.stats.add_memory(fileset.total_bytes)
+
+    def _h_migrate(self, mi: MargoInstance, handle: HGHandle) -> Generator:
+        inp = yield from mi.get_input(handle)
+        bulk: BulkRef = inp["bulk"]
+        # Pull the whole fileset content from the origin provider.
+        yield from mi.bulk_transfer(handle, bulk.nbytes)
+        fileset: RemiFileset = bulk.data
+        if fileset.name in self.filesets:
+            yield from mi.respond(handle, {"ret": -1, "error": "exists"})
+            return
+        for fname, content in fileset.files.items():
+            yield Compute(
+                self.install_fixed + self.install_per_byte * len(content)
+            )
+        self.filesets[fileset.name] = RemiFileset(
+            name=fileset.name, files=dict(fileset.files)
+        )
+        mi.stats.add_memory(fileset.total_bytes)
+        yield from mi.respond(
+            handle, {"ret": 0, "files": len(fileset.files)}
+        )
+
+
+class RemiClient:
+    """Origin-side migration driver, usually co-located with a provider."""
+
+    def __init__(self, mi: MargoInstance, provider: Optional[RemiProvider] = None):
+        self.mi = mi
+        self.provider = provider
+        for rpc in _ALL_RPCS:
+            mi.register(rpc)
+
+    def migrate(
+        self,
+        target: str,
+        target_provider_id: int,
+        fileset: RemiFileset,
+        *,
+        remove_source: bool = False,
+    ) -> Generator:
+        out = yield from self.mi.forward(
+            target,
+            RPC_MIGRATE,
+            {
+                "name": fileset.name,
+                "bulk": BulkRef(fileset, fileset.total_bytes),
+            },
+            target_provider_id,
+        )
+        if out["ret"] == 0 and remove_source and self.provider is not None:
+            removed = self.provider.filesets.pop(fileset.name, None)
+            if removed is not None:
+                self.mi.stats.add_memory(-removed.total_bytes)
+        return out

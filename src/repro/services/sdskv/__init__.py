@@ -1,0 +1,24 @@
+"""SDSKV microservice: RPC access to multiple key-value backends."""
+
+from .backends import (
+    BACKENDS,
+    BackendCosts,
+    BDBDatabase,
+    KVDatabase,
+    LevelDBDatabase,
+    MapDatabase,
+    make_database,
+)
+from .provider import SdskvClient, SdskvProvider
+
+__all__ = [
+    "BACKENDS",
+    "BackendCosts",
+    "BDBDatabase",
+    "KVDatabase",
+    "LevelDBDatabase",
+    "MapDatabase",
+    "SdskvClient",
+    "SdskvProvider",
+    "make_database",
+]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel (see :mod:`repro.sim.engine`)."""
+
+from .clock import LocalClock
+from .engine import (
+    AnyOf,
+    SimEvent,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Task,
+    Timeout,
+)
+from .resources import Mutex, Semaphore, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AnyOf",
+    "LocalClock",
+    "Mutex",
+    "RngRegistry",
+    "Semaphore",
+    "SimEvent",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "Task",
+    "Timeout",
+]

@@ -1,0 +1,343 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the foundation for every substrate in this repository: the
+Argobots user-level threading runtime, the OFI-like network fabric, the
+Mercury RPC library, and the Margo layer are all built as tasks scheduled
+on a single :class:`Simulator`.
+
+Tasks are plain Python generators.  A task communicates with the kernel by
+yielding *waitables*:
+
+* :class:`Timeout` -- resume the task after a fixed amount of simulated time.
+* :class:`SimEvent` -- resume the task when the event is fired; the value
+  passed to :meth:`SimEvent.succeed` becomes the result of the ``yield``.
+* :class:`AnyOf` -- resume when the first of several waitables completes.
+
+Subroutines compose with ``yield from``; the kernel never needs to know
+about nesting.
+
+The kernel is fully deterministic: events scheduled for the same timestamp
+fire in the order they were scheduled (a monotonically increasing sequence
+number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "SimEvent",
+    "Timeout",
+    "AnyOf",
+    "Task",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level protocol violations (e.g. yielding a
+    non-waitable, or firing an event twice)."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a callback to halt :meth:`Simulator.run` immediately."""
+
+
+class _Waitable:
+    """Base class for objects a task may ``yield`` to the kernel."""
+
+    def _subscribe(self, sim: "Simulator", task: "Task") -> None:
+        raise NotImplementedError
+
+
+class Timeout(_Waitable):
+    """Resume the yielding task after ``delay`` units of simulated time."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, sim: "Simulator", task: "Task") -> None:
+        sim.call_at(sim.now + self.delay, task._resume, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class SimEvent(_Waitable):
+    """A one-shot event that tasks can wait on.
+
+    An event is fired at most once with :meth:`succeed` (or :meth:`fail`);
+    every task waiting on it is resumed with the event's value, and tasks
+    that wait on an already-fired event resume immediately.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_fired", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._fired = False
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            # Callbacks run at the *current* simulated instant but through
+            # the event queue, preserving deterministic FIFO ordering.
+            self.sim.call_at(self.sim.now, cb, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.call_at(self.sim.now, cb, self)
+        return self
+
+    def add_callback(self, cb: Callable[["SimEvent"], None]) -> None:
+        """Invoke ``cb(event)`` once the event fires (immediately if it
+        already has)."""
+        if self._fired:
+            self.sim.call_at(self.sim.now, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def _subscribe(self, sim: "Simulator", task: "Task") -> None:
+        def _on_fire(ev: "SimEvent") -> None:
+            if ev._exc is not None:
+                task._throw(ev._exc)
+            else:
+                task._resume(ev._value)
+
+        self.add_callback(_on_fire)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else "pending"
+        return f"SimEvent({self.name!r}, {state})"
+
+
+class AnyOf(_Waitable):
+    """Wait for the first of several waitables; yields ``(index, value)``.
+
+    Losing :class:`Timeout` branches are discarded harmlessly (their kernel
+    callback becomes a no-op); losing :class:`SimEvent` branches are *not*
+    consumed -- the event stays available to other waiters.
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: Iterable[_Waitable]):
+        self.branches = list(branches)
+        if not self.branches:
+            raise ValueError("AnyOf requires at least one branch")
+
+    def _subscribe(self, sim: "Simulator", task: "Task") -> None:
+        done = {"flag": False}
+
+        def _make_cb(index: int) -> Callable[[Any], None]:
+            def _cb(value: Any = None) -> None:
+                if done["flag"]:
+                    return
+                done["flag"] = True
+                task._resume((index, value))
+
+            return _cb
+
+        for i, br in enumerate(self.branches):
+            cb = _make_cb(i)
+            if isinstance(br, Timeout):
+                sim.call_at(sim.now + br.delay, cb, br.value)
+            elif isinstance(br, SimEvent):
+                br.add_callback(lambda ev, _cb=cb: _cb(ev._value))
+            else:
+                raise SimulationError(
+                    f"AnyOf supports Timeout and SimEvent branches, got {br!r}"
+                )
+
+
+class Task:
+    """A running generator task.
+
+    ``task.done`` is a :class:`SimEvent` fired with the generator's return
+    value when it finishes (or failed with its exception).
+    """
+
+    __slots__ = ("sim", "gen", "name", "done", "_finished")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "task")
+        self.done = SimEvent(sim, name=f"{self.name}.done")
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _step(self, send: Callable[[], Any]) -> None:
+        try:
+            yielded = send()
+        except StopIteration as stop:
+            self._finished = True
+            self.done.succeed(stop.value)
+            return
+        except StopSimulation:
+            raise
+        except BaseException as exc:
+            self._finished = True
+            observed = bool(self.done._callbacks) or self.sim.swallow_task_errors
+            self.done.fail(exc)
+            if not observed:
+                raise
+            return
+        if not isinstance(yielded, _Waitable):
+            raise SimulationError(
+                f"task {self.name!r} yielded non-waitable {yielded!r}"
+            )
+        yielded._subscribe(self.sim, self)
+
+    def _resume(self, value: Any = None) -> None:
+        self._step(lambda: self.gen.send(value))
+
+    def _throw(self, exc: BaseException) -> None:
+        self._step(lambda: self.gen.throw(exc))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}, finished={self._finished})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Maintains a priority queue of ``(time, seq, callback)`` entries.  All
+    substrate behaviour -- scheduling, networking, RPC progress -- reduces
+    to callbacks on this queue.
+    """
+
+    def __init__(self, *, swallow_task_errors: bool = False):
+        self._queue: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._running = False
+        #: If True, a task that dies with an unhandled exception records it
+        #: on ``task.done`` instead of aborting the simulation.  Used by the
+        #: failure-injection tests.
+        self.swallow_task_errors = swallow_task_errors
+
+    # -- scheduling -------------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self.now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._seq), fn, args))
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` units of simulated time."""
+        self.call_at(self.now + delay, fn, *args)
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh :class:`SimEvent` bound to this simulator."""
+        return SimEvent(self, name=name)
+
+    def spawn(self, gen: Generator, name: str = "") -> Task:
+        """Start a generator as a task.  The first step runs at the current
+        simulated instant (through the queue, preserving order)."""
+        task = Task(self, gen, name=name)
+        self.call_at(self.now, task._resume, None)
+        return task
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process queued events.
+
+        ``until`` bounds simulated time (inclusive); ``max_events`` bounds
+        the number of processed callbacks (a runaway-loop backstop for
+        tests).  Returns the final simulated time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                when, _, fn, args = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = when
+                try:
+                    fn(*args)
+                except StopSimulation:
+                    break
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        limit: float,
+        step: float = 5e-3,
+    ) -> bool:
+        """Advance simulated time in ``step`` increments until
+        ``predicate()`` is true or ``limit`` is reached.
+
+        Avoids simulating long idle tails (e.g. progress loops polling
+        after a workload finished).  Returns the predicate's final value.
+        """
+        if step <= 0:
+            raise ValueError("step must be positive")
+        while not predicate() and self.now < limit:
+            self.run(until=min(limit, self.now + step))
+        return predicate()
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next queued event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now}, pending={len(self._queue)})"

@@ -1,0 +1,48 @@
+"""Named, seeded random-number streams.
+
+Every source of randomness in the repository draws from a stream obtained
+here, keyed by a stable name.  Two simulations constructed with the same
+root seed therefore produce bit-identical results regardless of the order
+in which components are created -- a property the reproduction benches and
+the failure-injection tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngRegistry:
+    """Factory of independent, deterministically seeded numpy Generators."""
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = int(root_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the stream for ``name``, creating it on first use.
+
+        The stream's seed depends only on ``(root_seed, name)``, never on
+        creation order.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(_derive_seed(self.root_seed, name))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, suffix: str) -> "RngRegistry":
+        """A registry whose streams are all distinct from this one's."""
+        return RngRegistry(_derive_seed(self.root_seed, f"fork:{suffix}"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(root_seed={self.root_seed}, streams={len(self._streams)})"

@@ -1,0 +1,5 @@
+"""SSG: Scalable Service Groups (Mochi core component)."""
+
+from .group import SSGError, SSGGroup
+
+__all__ = ["SSGError", "SSGGroup"]

@@ -1,0 +1,111 @@
+"""SSG: Scalable Service Groups.
+
+The Mochi core component that gives a set of service processes a stable
+group identity: each member has a *rank*, clients resolve ranks to
+addresses, and key-based member selection gives services a consistent
+way to shard work.  The production library layers SWIM-style failure
+detection on top; Mochi services predominantly use static groups
+with explicit join/leave, which is what this implements (observers are
+notified on membership changes so services can rebalance).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Callable, Iterable, Optional
+
+__all__ = ["SSGGroup", "SSGError"]
+
+_group_ids = itertools.count(1)
+
+
+class SSGError(RuntimeError):
+    """Membership lookup or mutation failure."""
+
+
+def _key_hash(key: str) -> int:
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "little")
+
+
+class SSGGroup:
+    """A named group of service member addresses with stable ranks.
+
+    Ranks are assigned in join order (matching ``ssg_group_create`` with
+    an ordered address list); leaving compacts ranks, and observers are
+    told about every membership change.
+    """
+
+    def __init__(self, name: str, members: Iterable[str] = ()):
+        self.name = name
+        self.group_id = next(_group_ids)
+        self._members: list[str] = []
+        self._observers: list[Callable[[str, str, int], None]] = []
+        for addr in members:
+            self.join(addr)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> list[str]:
+        return list(self._members)
+
+    def __contains__(self, addr: str) -> bool:
+        return addr in self._members
+
+    def join(self, addr: str) -> int:
+        """Add a member; returns its rank."""
+        if addr in self._members:
+            raise SSGError(f"{addr!r} is already a member of {self.name!r}")
+        self._members.append(addr)
+        rank = len(self._members) - 1
+        self._notify("join", addr, rank)
+        return rank
+
+    def leave(self, addr: str) -> None:
+        """Remove a member; later ranks shift down (rank compaction)."""
+        try:
+            rank = self._members.index(addr)
+        except ValueError:
+            raise SSGError(f"{addr!r} is not a member of {self.name!r}") from None
+        self._members.pop(rank)
+        self._notify("leave", addr, rank)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def rank_of(self, addr: str) -> int:
+        try:
+            return self._members.index(addr)
+        except ValueError:
+            raise SSGError(f"{addr!r} is not a member of {self.name!r}") from None
+
+    def address_of(self, rank: int) -> str:
+        if not 0 <= rank < len(self._members):
+            raise SSGError(
+                f"rank {rank} out of range for group {self.name!r} "
+                f"(size {len(self._members)})"
+            )
+        return self._members[rank]
+
+    def member_for_key(self, key: str) -> str:
+        """Consistent key-based member selection (hash mod size)."""
+        if not self._members:
+            raise SSGError(f"group {self.name!r} is empty")
+        return self._members[_key_hash(key) % len(self._members)]
+
+    # -- observers ---------------------------------------------------------------
+
+    def observe(self, callback: Callable[[str, str, int], None]) -> None:
+        """``callback(change, addr, rank)`` on join/leave."""
+        self._observers.append(callback)
+
+    def _notify(self, change: str, addr: str, rank: int) -> None:
+        for cb in self._observers:
+            cb(change, addr, rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SSGGroup({self.name!r}, size={self.size})"

@@ -1,0 +1,53 @@
+"""SYMBIOSYS: integrated performance instrumentation, measurement, and
+analysis for HPC microservices (the paper's core contribution).
+
+Public surface:
+
+* :class:`SymbiosysCollector` -- create per-process instrumentation and
+  consolidate profiles/traces at the end of a run.
+* :class:`Stage` -- Baseline / Stage 1 / Stage 2 / Full Support.
+* :mod:`repro.symbiosys.analysis` -- the three analysis scripts.
+* :mod:`repro.symbiosys.zipkin` -- Zipkin JSON trace export.
+"""
+
+from .callpath import MAX_DEPTH, CallpathRegistry, components, depth, hash16, push
+from .collector import SymbiosysCollector
+from .instrument import SymbiosysInstrumentation
+from .policy import (
+    DedicateProgressES,
+    GrowHandlerPool,
+    MetricSample,
+    Policy,
+    PolicyAction,
+    PolicyEngine,
+    RaiseOfiMaxEvents,
+)
+from .profiling import INTERVALS, IntervalStats, ProfileKey, ProfileStore
+from .stages import Stage
+from .tracing import EventKind, TraceBuffer, TraceEvent
+
+__all__ = [
+    "CallpathRegistry",
+    "DedicateProgressES",
+    "EventKind",
+    "GrowHandlerPool",
+    "MetricSample",
+    "Policy",
+    "PolicyAction",
+    "PolicyEngine",
+    "RaiseOfiMaxEvents",
+    "INTERVALS",
+    "IntervalStats",
+    "MAX_DEPTH",
+    "ProfileKey",
+    "ProfileStore",
+    "Stage",
+    "SymbiosysCollector",
+    "SymbiosysInstrumentation",
+    "TraceBuffer",
+    "TraceEvent",
+    "components",
+    "depth",
+    "hash16",
+    "push",
+]

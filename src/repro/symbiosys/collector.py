@@ -1,0 +1,72 @@
+"""Run-wide consolidation of per-process SYMBIOSYS data.
+
+The paper consolidates profiles and traces "at the end of the execution";
+the :class:`SymbiosysCollector` is that consolidation point.  It hands
+out per-process instrumentation objects (all sharing one callpath-name
+registry) and merges their stores for the analysis scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .callpath import CallpathRegistry
+from .instrument import SymbiosysInstrumentation
+from .profiling import ProfileStore
+from .stages import Stage
+from .tracing import TraceEvent
+
+__all__ = ["SymbiosysCollector"]
+
+
+class SymbiosysCollector:
+    """Factory for per-process instrumentation + global aggregation."""
+
+    def __init__(self, stage: Stage = Stage.FULL):
+        self.stage = stage
+        self.registry = CallpathRegistry()
+        self.instruments: list[SymbiosysInstrumentation] = []
+
+    def create_instrumentation(self) -> SymbiosysInstrumentation:
+        instr = SymbiosysInstrumentation(self.stage, self.registry)
+        self.instruments.append(instr)
+        return instr
+
+    # -- consolidation ------------------------------------------------------
+
+    def merged_origin_profile(self) -> ProfileStore:
+        merged = ProfileStore()
+        for instr in self.instruments:
+            merged.merge(instr.origin_profile)
+        return merged
+
+    def merged_target_profile(self) -> ProfileStore:
+        merged = ProfileStore()
+        for instr in self.instruments:
+            merged.merge(instr.target_profile)
+        return merged
+
+    def all_events(self) -> list[TraceEvent]:
+        events: list[TraceEvent] = []
+        for instr in self.instruments:
+            if instr.trace is not None:
+                events.extend(instr.trace.events)
+        return events
+
+    def events_by_process(self) -> dict[str, list[TraceEvent]]:
+        out: dict[str, list[TraceEvent]] = {}
+        for instr in self.instruments:
+            if instr.trace is not None:
+                out[instr.trace.process] = list(instr.trace.events)
+        return out
+
+    @property
+    def total_trace_events(self) -> int:
+        return sum(
+            len(i.trace) for i in self.instruments if i.trace is not None
+        )
+
+    def processes(self) -> Iterable[str]:
+        return [
+            i.trace.process for i in self.instruments if i.trace is not None
+        ]

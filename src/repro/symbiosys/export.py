@@ -1,0 +1,150 @@
+"""Persisting collected performance data.
+
+The paper's workflow writes per-process profiles and traces at the end
+of execution, then runs the analysis scripts offline.  This module
+provides that serialization boundary:
+
+* :func:`profile_to_rows` / :func:`write_profile_csv` -- the callpath
+  profile as flat rows (one per key x interval),
+* :func:`events_to_json` / :func:`load_events_json` -- a lossless
+  round-trip for trace events, so traces can be stitched in a separate
+  process or archived next to the run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Optional
+
+from .callpath import CallpathRegistry
+from .profiling import ProfileStore
+from .tracing import EventKind, TraceEvent
+
+__all__ = [
+    "profile_to_rows",
+    "write_profile_csv",
+    "events_to_json",
+    "load_events_json",
+]
+
+_CSV_COLUMNS = (
+    "callpath",
+    "callpath_name",
+    "origin",
+    "target",
+    "interval",
+    "count",
+    "total",
+    "min",
+    "max",
+    "mean",
+)
+
+
+def profile_to_rows(
+    store: ProfileStore, registry: Optional[CallpathRegistry] = None
+) -> list[dict]:
+    """Flatten a profile store into sortable dict rows."""
+    rows = []
+    for key in store.keys():
+        for interval, stats in store.intervals_for(key).items():
+            rows.append(
+                {
+                    "callpath": f"{key.callpath:#018x}",
+                    "callpath_name": (
+                        registry.decode(key.callpath) if registry else ""
+                    ),
+                    "origin": key.origin,
+                    "target": key.target,
+                    "interval": interval,
+                    "count": stats.count,
+                    "total": stats.total,
+                    "min": stats.minimum,
+                    "max": stats.maximum,
+                    "mean": stats.mean,
+                }
+            )
+    rows.sort(key=lambda r: (-r["total"], r["callpath"], r["interval"]))
+    return rows
+
+
+def write_profile_csv(
+    store: ProfileStore,
+    registry: Optional[CallpathRegistry] = None,
+    *,
+    path: Optional[str] = None,
+) -> str:
+    """Write the profile as CSV; returns the CSV text (and writes the
+    file when ``path`` is given)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_CSV_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in profile_to_rows(store, registry):
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as fh:
+            fh.write(text)
+    return text
+
+
+def _event_to_dict(ev: TraceEvent) -> dict:
+    return {
+        "kind": ev.kind.value,
+        "request_id": ev.request_id,
+        "order": ev.order,
+        "lamport": ev.lamport,
+        "process": ev.process,
+        "local_ts": ev.local_ts,
+        "true_ts": ev.true_ts,
+        "rpc_name": ev.rpc_name,
+        "callpath": ev.callpath,
+        "span_id": ev.span_id,
+        "parent_span_id": ev.parent_span_id,
+        "provider_id": ev.provider_id,
+        "data": ev.data,
+        "pvars": ev.pvars,
+        "sysstats": ev.sysstats,
+    }
+
+
+def events_to_json(
+    events: Iterable[TraceEvent], *, path: Optional[str] = None, indent: int = 0
+) -> str:
+    """Serialize trace events to a JSON array (optionally to a file)."""
+    doc = json.dumps(
+        [_event_to_dict(ev) for ev in events],
+        indent=indent or None,
+    )
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(doc)
+    return doc
+
+
+def load_events_json(source: str) -> list[TraceEvent]:
+    """Inverse of :func:`events_to_json` (``source`` is JSON text)."""
+    out = []
+    for raw in json.loads(source):
+        out.append(
+            TraceEvent(
+                kind=EventKind(raw["kind"]),
+                request_id=raw["request_id"],
+                order=raw["order"],
+                lamport=raw["lamport"],
+                process=raw["process"],
+                local_ts=raw["local_ts"],
+                true_ts=raw["true_ts"],
+                rpc_name=raw["rpc_name"],
+                callpath=raw["callpath"],
+                span_id=raw["span_id"],
+                parent_span_id=raw["parent_span_id"],
+                provider_id=raw.get("provider_id", 0),
+                data=raw.get("data", {}),
+                pvars=raw.get("pvars", {}),
+                sysstats=raw.get("sysstats", {}),
+            )
+        )
+    return out

@@ -1,0 +1,341 @@
+"""The SYMBIOSYS instrumentation implementation of the Margo hooks.
+
+One instance per Mochi process.  Depending on the configured
+:class:`~repro.symbiosys.stages.Stage` it:
+
+* propagates callpath ancestry and trace metadata in RPC headers
+  (STAGE1+),
+* measures the Table III intervals with the strategy the paper uses for
+  each -- ULT-local keys for origin execution / target handler / target
+  execution / target completion-callback time; Mercury handle PVARs for
+  the (de)serialization, internal-RDMA, and origin-callback intervals --
+  and feeds per-process origin/target profile stores (STAGE2+),
+* emits trace events at t1/t14 (origin) and t5/t8 (target) with sampled
+  OS and tasking statistics (STAGE2+),
+* opens a PVAR session against Mercury and fuses sampled PVAR values into
+  profiles and trace records on the fly (FULL).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..margo.hooks import NullInstrumentation
+from .callpath import CallpathRegistry, push
+from .profiling import ProfileKey, ProfileStore
+from .stages import Stage
+from .tracing import EventKind, TraceBuffer, TraceEvent, new_span_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..argobots import ULT
+    from ..mercury import HGHandle, PvarSession
+    from ..margo import MargoInstance
+
+__all__ = ["SymbiosysInstrumentation"]
+
+#: NO_OBJECT PVARs sampled into origin-side trace events at t14.
+_T14_PVARS = ("num_ofi_events_read", "completion_queue_size", "num_posted_handles")
+#: HANDLE PVARs sampled on the target at handler end (t13).
+_TARGET_HANDLE_PVARS = (
+    "input_deserialization_time",
+    "output_serialization_time",
+    "internal_rdma_transfer_time",
+    "bulk_transfer_time",
+)
+
+
+class SymbiosysInstrumentation(NullInstrumentation):
+    """Per-process instrumentation state + hook implementations."""
+
+    def __init__(self, stage: Stage, registry: CallpathRegistry):
+        self.stage = stage
+        self.registry = registry
+        self.process: Optional[str] = None
+        self.origin_profile = ProfileStore()
+        self.target_profile = ProfileStore()
+        self.trace: Optional[TraceBuffer] = None
+        self._pvar_session: Optional["PvarSession"] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, mi: "MargoInstance") -> None:
+        """Called by MargoInstance at construction time."""
+        self.process = mi.addr
+        self.trace = TraceBuffer(mi.addr)
+        mi.hg.pvars_enabled = self.stage >= Stage.FULL
+        if self.stage >= Stage.FULL:
+            # The faithful data-exchange path: a PVAR session opened from
+            # Margo's init routine (paper §IV-C).
+            self._pvar_session = mi.hg.pvar_session_init()
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _ctx(
+        ult: Optional["ULT"], mi: "MargoInstance", new_request: bool = False
+    ) -> dict:
+        """The per-request trace context living in ULT-local storage.
+
+        Handler ULTs inherit their context from the incoming request
+        header (set by ``on_handler_start``); an end-client ULT gets a
+        fresh globally unique request id for every top-level forward
+        (``new_request=True``), so each application operation is its own
+        distributed trace.
+        """
+        if ult is None:
+            return {"request_id": mi.next_request_id(), "next_order": 0}
+        ctx = ult.local.get("trace_ctx")
+        if ctx is None or (new_request and not ctx.get("inherited")):
+            ctx = {"request_id": mi.next_request_id(), "next_order": 0}
+            ult.local["trace_ctx"] = ctx
+        return ctx
+
+    @staticmethod
+    def _take_order(ctx: dict) -> int:
+        order = ctx["next_order"]
+        ctx["next_order"] = order + 1
+        return order
+
+    def _sysstats(self, mi: "MargoInstance") -> dict[str, Any]:
+        rt = mi.rt
+        return {
+            "num_blocked": rt.num_blocked,
+            "num_ready": rt.num_ready,
+            "num_running": rt.num_running,
+            "cpu_util": mi.stats.cpu_utilization(),
+            "memory_bytes": mi.stats.memory_bytes,
+        }
+
+    def _sample_t14_pvars(self, handle: "HGHandle") -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        sess = self._pvar_session
+        if sess is None:
+            return out
+        for name in _T14_PVARS:
+            out[name] = sess.read_by_name(name)
+        out["input_serialization_time"] = handle.pvar_get_or(
+            "input_serialization_time"
+        )
+        out["origin_completion_callback_time"] = handle.pvar_get_or(
+            "origin_completion_callback_time"
+        )
+        return out
+
+    def _emit(self, event: TraceEvent) -> None:
+        assert self.trace is not None, "instrumentation not attached"
+        self.trace.append(event)
+
+    # -- origin hooks ----------------------------------------------------------------
+
+    def on_forward(self, mi, handle, ult) -> None:
+        if self.stage < Stage.STAGE1:
+            return
+        self.registry.register(handle.rpc_name)
+        parent_code = ult.local.get("callpath", 0) if ult is not None else 0
+        code = push(parent_code, handle.rpc_name)
+        ctx = self._ctx(ult, mi, new_request=True)
+        span_id = new_span_id()
+        parent_span = ult.local.get("span_id") if ult is not None else None
+        lamport = mi.lamport_tick()
+        order = self._take_order(ctx)
+
+        header = handle.header
+        header["callpath"] = code
+        header["request_id"] = ctx["request_id"]
+        header["order"] = ctx["next_order"]  # next value for the target
+        header["lamport"] = lamport
+        header["span_id"] = span_id
+        header["parent_span_id"] = parent_span
+
+        if ult is not None:
+            # Origin execution time uses the ULT-local key strategy.
+            ult.local[("t1", handle.cookie)] = mi.sim.now
+
+        if self.stage >= Stage.STAGE2:
+            self._emit(
+                TraceEvent(
+                    kind=EventKind.ORIGIN_FORWARD,
+                    request_id=ctx["request_id"],
+                    order=order,
+                    lamport=lamport,
+                    process=mi.addr,
+                    local_ts=mi.local_time(),
+                    true_ts=mi.sim.now,
+                    rpc_name=handle.rpc_name,
+                    callpath=code,
+                    span_id=span_id,
+                    parent_span_id=parent_span,
+                    provider_id=header.get("provider_id", 0),
+                    sysstats=self._sysstats(mi),
+                )
+            )
+
+    def on_forward_complete(self, mi, handle, ult, t1: float, t14: float) -> None:
+        if self.stage < Stage.STAGE2:
+            return
+        header = handle.header
+        code = header.get("callpath", 0)
+        # Retrieve t1 through the ULT-local key, as the paper does.
+        t1_local = (
+            ult.local.pop(("t1", handle.cookie), t1) if ult is not None else t1
+        )
+        origin_exec = t14 - t1_local
+
+        key = ProfileKey(
+            callpath=code, origin=mi.addr, target=handle.target_addr
+        )
+        self.origin_profile.add(key, "origin_execution_time", origin_exec)
+
+        lamport = mi.lamport_receive(header.get("lamport", 0))
+        ctx = self._ctx(ult, mi)
+        ctx["next_order"] = max(ctx["next_order"], header.get("order", 0))
+        order = self._take_order(ctx)
+
+        pvars: dict[str, Any] = {}
+        if self.stage >= Stage.FULL:
+            pvars = self._sample_t14_pvars(handle)
+            self.origin_profile.add(
+                key,
+                "input_serialization_time",
+                pvars["input_serialization_time"],
+            )
+            self.origin_profile.add(
+                key,
+                "origin_completion_callback_time",
+                pvars["origin_completion_callback_time"],
+            )
+
+        self._emit(
+            TraceEvent(
+                kind=EventKind.ORIGIN_COMPLETE,
+                request_id=ctx["request_id"],
+                order=order,
+                lamport=lamport,
+                process=mi.addr,
+                # The event belongs to t14 (the completion callback); the
+                # hook itself runs when the caller ULT resumes, so map the
+                # callback instant through the local clock explicitly.
+                local_ts=mi.clock.read(t14),
+                true_ts=t14,
+                rpc_name=handle.rpc_name,
+                callpath=code,
+                span_id=header.get("span_id", 0),
+                parent_span_id=header.get("parent_span_id"),
+                provider_id=header.get("provider_id", 0),
+                data={"t1": t1_local, "origin_execution_time": origin_exec},
+                pvars=pvars,
+                sysstats=self._sysstats(mi),
+            )
+        )
+
+    # -- target hooks ---------------------------------------------------------------
+
+    def on_handler_start(self, mi, handle, ult) -> None:
+        if self.stage < Stage.STAGE1:
+            return
+        header = handle.header
+        # Continue the distributed chain: downstream RPCs made by this ULT
+        # extend the ancestry we received.
+        ult.local["callpath"] = header.get("callpath", 0)
+        ult.local["span_id"] = header.get("span_id")
+        ult.local["trace_ctx"] = {
+            "request_id": header.get("request_id", f"orphan-{handle.cookie}"),
+            "next_order": header.get("order", 0),
+            "inherited": True,
+        }
+        ult.local["child_rpc_time"] = 0.0
+        lamport = mi.lamport_receive(header.get("lamport", 0))
+
+        if self.stage < Stage.STAGE2:
+            return
+        t4 = handle.marks.get("t4", mi.sim.now)
+        t5 = handle.marks.get("t5", mi.sim.now)
+        # ULT-local key strategy for the handler-pool delay.
+        ult.local["target_handler_time"] = t5 - t4
+        ctx = ult.local["trace_ctx"]
+        order = self._take_order(ctx)
+        self._emit(
+            TraceEvent(
+                kind=EventKind.TARGET_ULT_START,
+                request_id=ctx["request_id"],
+                order=order,
+                lamport=lamport,
+                process=mi.addr,
+                local_ts=mi.local_time(),
+                true_ts=mi.sim.now,
+                rpc_name=handle.rpc_name,
+                callpath=header.get("callpath", 0),
+                span_id=header.get("span_id", 0),
+                parent_span_id=header.get("parent_span_id"),
+                provider_id=header.get("provider_id", 0),
+                data={"t4": t4, "target_handler_time": t5 - t4},
+                sysstats=self._sysstats(mi),
+            )
+        )
+
+    def on_respond(self, mi, handle, ult) -> None:
+        if self.stage < Stage.STAGE1:
+            return
+        header = handle.header
+        lamport = mi.lamport_tick()
+        header["lamport"] = lamport
+        ctx = self._ctx(ult, mi)
+        if self.stage >= Stage.STAGE2:
+            t5 = handle.marks.get("t5", 0.0)
+            t8 = handle.marks["t8"]
+            exec_incl = t8 - t5
+            exec_excl = exec_incl - ult.local.get("child_rpc_time", 0.0)
+            ult.local["target_execution_time"] = exec_incl
+            ult.local["target_execution_time_exclusive"] = exec_excl
+            order = self._take_order(ctx)
+            header["order"] = ctx["next_order"]
+            self._emit(
+                TraceEvent(
+                    kind=EventKind.TARGET_RESPOND,
+                    request_id=ctx["request_id"],
+                    order=order,
+                    lamport=lamport,
+                    process=mi.addr,
+                    local_ts=mi.local_time(),
+                    true_ts=mi.sim.now,
+                    rpc_name=handle.rpc_name,
+                    callpath=header.get("callpath", 0),
+                    span_id=header.get("span_id", 0),
+                    parent_span_id=header.get("parent_span_id"),
+                    provider_id=header.get("provider_id", 0),
+                    data={
+                        "t8": t8,
+                        "target_execution_time": exec_incl,
+                        "target_execution_time_exclusive": exec_excl,
+                    },
+                    sysstats=self._sysstats(mi),
+                )
+            )
+        else:
+            header["order"] = ctx["next_order"]
+
+    def on_handler_end(self, mi, handle, ult) -> None:
+        if self.stage < Stage.STAGE2:
+            return
+        header = handle.header
+        code = header.get("callpath", 0)
+        key = ProfileKey(
+            callpath=code, origin=handle.origin_addr, target=mi.addr
+        )
+        t8 = handle.marks["t8"]
+        t13 = handle.marks.get("t13", t8)
+        prof = self.target_profile
+        prof.add(key, "target_handler_time", ult.local.get("target_handler_time", 0.0))
+        prof.add(key, "target_execution_time", ult.local.get("target_execution_time", 0.0))
+        prof.add(
+            key,
+            "target_execution_time_exclusive",
+            ult.local.get("target_execution_time_exclusive", 0.0),
+        )
+        # ULT-local key strategy: t8 -> t13.
+        prof.add(key, "target_completion_callback_time", t13 - t8)
+        if self.stage >= Stage.FULL:
+            for name in _TARGET_HANDLE_PVARS:
+                value = handle.pvar_get_or(name, None)
+                if value is not None:
+                    prof.add(key, name, value)

@@ -1,0 +1,24 @@
+"""Instrumentation stages, matching the overhead study (Figure 13)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Stage"]
+
+
+class Stage(enum.IntEnum):
+    """How much of SYMBIOSYS is active.
+
+    * ``OFF``    -- Baseline: instrumentation and measurement disabled.
+    * ``STAGE1`` -- callpath / trace ID metadata added to RPC requests,
+      but no measurements are made.
+    * ``STAGE2`` -- callpath profiling, tracing, and system-statistic
+      sampling enabled; Mercury PVAR collection disabled.
+    * ``FULL``   -- everything, with PVAR data integrated on the fly.
+    """
+
+    OFF = 0
+    STAGE1 = 1
+    STAGE2 = 2
+    FULL = 3

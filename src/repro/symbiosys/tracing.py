@@ -1,0 +1,82 @@
+"""Distributed request tracing (paper §IV-A-2).
+
+Trace events are generated at t1 and t14 on the origin and t5 and t8 on
+the target of every RPC.  Each event carries:
+
+* the globally unique *request id* minted by the end client,
+* a per-request *order* counter propagated with the request,
+* the process's *Lamport clock* (used by the stitcher to correct skewed
+  local timestamps),
+* the local (possibly drifted) wall-clock timestamp,
+* a *span id* / *parent span id* pair for Zipkin-style visualizations,
+* sampled PVAR values and OS/tasking statistics.
+
+Events are buffered per process and consolidated by the analysis layer
+after the run.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["EventKind", "TraceEvent", "TraceBuffer", "new_span_id"]
+
+_span_ids = itertools.count(1)
+
+
+def new_span_id() -> int:
+    return next(_span_ids)
+
+
+class EventKind(enum.Enum):
+    ORIGIN_FORWARD = "origin_forward"  # t1
+    ORIGIN_COMPLETE = "origin_complete"  # t14
+    TARGET_ULT_START = "target_ult_start"  # t5
+    TARGET_RESPOND = "target_respond"  # t8
+
+
+@dataclass
+class TraceEvent:
+    """One point event in a distributed request trace."""
+
+    kind: EventKind
+    request_id: str
+    order: int
+    lamport: int
+    process: str
+    local_ts: float  # local clock (subject to drift/offset)
+    true_ts: float  # simulator truth, kept for validation only
+    rpc_name: str
+    callpath: int
+    span_id: int
+    parent_span_id: Optional[int]
+    provider_id: int = 0
+    #: Extra measurements attached at the event (t4 spawn time, etc.).
+    data: dict[str, Any] = field(default_factory=dict)
+    #: PVAR samples fused into the trace record (FULL stage only).
+    pvars: dict[str, Any] = field(default_factory=dict)
+    #: OS / tasking-layer statistics (blocked ULTs, CPU, memory).
+    sysstats: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceBuffer:
+    """Per-process accumulation of trace events."""
+
+    def __init__(self, process: str):
+        self.process = process
+        self.events: list[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_request(self) -> dict[str, list[TraceEvent]]:
+        out: dict[str, list[TraceEvent]] = {}
+        for ev in self.events:
+            out.setdefault(ev.request_id, []).append(ev)
+        return out

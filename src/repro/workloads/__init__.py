@@ -1,0 +1,20 @@
+"""Workload generators: ior-on-Mobject, synthetic HDF5 event files, and
+JSON record arrays."""
+
+from .ior import IorClient, IorConfig, run_ior_clients
+from .json_records import generate_json_records
+from .synthetic_hdf5 import (
+    SyntheticEventFile,
+    flatten_to_pairs,
+    generate_event_files,
+)
+
+__all__ = [
+    "IorClient",
+    "IorConfig",
+    "SyntheticEventFile",
+    "flatten_to_pairs",
+    "generate_event_files",
+    "generate_json_records",
+    "run_ior_clients",
+]

@@ -1,0 +1,90 @@
+"""An ior-like benchmark driver adapted to Mobject.
+
+Mirrors the paper's modified ior: each simulated client process writes a
+set of objects through the RADOS-subset API and then reads them back.
+Used by the Figure 5/6 case studies (one Mobject provider node, 10
+colocated clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..margo import MargoInstance
+from ..services.mobject import MobjectClient
+from ..sim import RngRegistry
+
+__all__ = ["IorConfig", "IorClient", "run_ior_clients"]
+
+
+@dataclass(frozen=True)
+class IorConfig:
+    """Per-client transfer plan."""
+
+    objects_per_client: int = 8
+    transfer_size: int = 16 * 1024
+    read_back: bool = True
+    #: Read the object set this many times (ior -i style iterations).
+    read_iterations: int = 5
+
+    def __post_init__(self) -> None:
+        if self.objects_per_client < 1:
+            raise ValueError("objects_per_client must be positive")
+        if self.transfer_size < 1:
+            raise ValueError("transfer_size must be positive")
+        if self.read_iterations < 0:
+            raise ValueError("read_iterations must be non-negative")
+
+
+class IorClient:
+    """One ior rank driving Mobject."""
+
+    def __init__(
+        self,
+        mi: MargoInstance,
+        target: str,
+        rank: int,
+        config: IorConfig,
+        seed: int = 99,
+    ):
+        self.mi = mi
+        self.mobject = MobjectClient(mi)
+        self.target = target
+        self.rank = rank
+        self.config = config
+        self._rng = RngRegistry(seed).fork(f"ior{rank}").stream("data")
+        self.write_errors = 0
+        self.read_mismatches = 0
+        self.finished_at: Optional[float] = None
+
+    def _object_id(self, index: int) -> str:
+        return f"ior.rank{self.rank}.obj{index}"
+
+    def body(self) -> Generator:
+        cfg = self.config
+        written: dict[str, bytes] = {}
+        for i in range(cfg.objects_per_client):
+            oid = self._object_id(i)
+            data = self._rng.integers(
+                0, 256, size=cfg.transfer_size, dtype=np.uint8
+            ).tobytes()
+            ret = yield from self.mobject.write_op(self.target, oid, data)
+            if ret != 0:
+                self.write_errors += 1
+            written[oid] = data
+        if cfg.read_back:
+            for _ in range(max(1, cfg.read_iterations)):
+                for oid, expect in written.items():
+                    got = yield from self.mobject.read_op(self.target, oid)
+                    if got != expect:
+                        self.read_mismatches += 1
+        self.finished_at = self.mi.sim.now
+
+
+def run_ior_clients(clients: list[IorClient]) -> None:
+    """Spawn every client's body as a ULT on its own process."""
+    for client in clients:
+        client.mi.client_ult(client.body(), name=f"ior.rank{client.rank}")

@@ -1,0 +1,92 @@
+"""Synthetic particle-event files.
+
+The paper's data-loader reads HDF5 files of physics simulation events
+from a parallel filesystem; we have neither the Fermilab data nor HDF5.
+The stand-in generates files with the same *shape*: a dataset of runs,
+subruns, and events whose serialized payloads follow a lognormal size
+distribution around ~1 KiB, with real (deterministic, content-bearing)
+bytes.  The loader's code path -- key construction, batching, hashing,
+put_packed -- is identical to what the real files would drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim import RngRegistry
+from ..services.hepnos import event_key
+
+__all__ = ["SyntheticEventFile", "generate_event_files", "flatten_to_pairs"]
+
+
+@dataclass
+class SyntheticEventFile:
+    """One input file: events of a single (dataset, run)."""
+
+    dataset: str
+    run: int
+    #: (subrun, event, payload bytes)
+    events: list[tuple[int, int, bytes]] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(p) for _, _, p in self.events)
+
+    def to_pairs(self) -> list[tuple[str, bytes]]:
+        """Event key/value pairs in file order."""
+        return [
+            (event_key(self.dataset, self.run, subrun, event), payload)
+            for subrun, event, payload in self.events
+        ]
+
+
+def _payload(rng: np.random.Generator, size: int) -> bytes:
+    """Deterministic pseudo-physics payload of exactly ``size`` bytes."""
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def generate_event_files(
+    *,
+    dataset: str = "NOvA",
+    n_files: int = 4,
+    events_per_file: int = 256,
+    subruns_per_file: int = 4,
+    mean_event_bytes: int = 1024,
+    sigma: float = 0.35,
+    seed: int = 1234,
+) -> list[SyntheticEventFile]:
+    """Generate ``n_files`` synthetic input files.
+
+    Event payload sizes are lognormal around ``mean_event_bytes`` --
+    serialized physics objects are variable-length.
+    """
+    if n_files < 1 or events_per_file < 1 or subruns_per_file < 1:
+        raise ValueError("file, event, and subrun counts must be positive")
+    if mean_event_bytes < 1:
+        raise ValueError("mean_event_bytes must be positive")
+    rng = RngRegistry(seed).stream("synthetic_hdf5")
+    files = []
+    for run in range(n_files):
+        mu = np.log(mean_event_bytes) - sigma**2 / 2
+        sizes = np.exp(rng.normal(mu, sigma, size=events_per_file))
+        sizes = np.maximum(16, sizes.astype(int))
+        events = [
+            (
+                int(i * subruns_per_file // events_per_file),
+                int(i),
+                _payload(rng, int(sizes[i])),
+            )
+            for i in range(events_per_file)
+        ]
+        files.append(SyntheticEventFile(dataset=dataset, run=run, events=events))
+    return files
+
+
+def flatten_to_pairs(files: list[SyntheticEventFile]) -> list[tuple[str, bytes]]:
+    """All files' events as a single key/value stream, in file order."""
+    pairs: list[tuple[str, bytes]] = []
+    for f in files:
+        pairs.extend(f.to_pairs())
+    return pairs

@@ -1,0 +1,41 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.experiments import ascii_table, format_seconds, series_histogram
+
+
+def test_ascii_table_basic():
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+    text = ascii_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "22" in lines[3]
+    # Aligned columns: all lines equal length.
+    assert len({len(l) for l in lines}) == 1
+
+
+def test_ascii_table_column_selection_and_floats():
+    rows = [{"a": 1.23456789, "b": 2}]
+    text = ascii_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+    text2 = ascii_table(rows, columns=["a"])
+    assert "1.235" in text2
+
+
+def test_ascii_table_empty():
+    assert ascii_table([]) == "(empty table)"
+
+
+def test_series_histogram_binning():
+    text = series_histogram([1, 2, 16, 16, 40], bins=[4, 16], label="ofi")
+    assert "5 samples" in text
+    assert "<= 4" in text
+    assert "5-16" in text
+    assert "> " in text
+
+
+def test_format_seconds_scales():
+    assert format_seconds(5e-7) == "0.50us"
+    assert format_seconds(1.5e-3) == "1.500ms"
+    assert format_seconds(2.0) == "2.000s"

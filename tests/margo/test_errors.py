@@ -1,0 +1,175 @@
+"""Tests for Margo RPC error propagation and forward timeouts."""
+
+import pytest
+
+import repro.argobots as abt
+from repro.margo import MargoTimeoutError, RemoteRpcError
+from .conftest import echo_handler, make_pair, run_client_calls
+
+
+def test_handler_exception_travels_to_origin():
+    world = make_pair()
+
+    def bad_handler(mi, handle):
+        yield from mi.get_input(handle)
+        raise ValueError("backend exploded")
+
+    world.server.register("bad", bad_handler)
+    world.client.register("bad")
+    caught = []
+
+    def body():
+        try:
+            yield from world.client.forward("svr", "bad", {})
+        except RemoteRpcError as exc:
+            caught.append(exc)
+
+    world.client.client_ult(body())
+    world.sim.run_until(lambda: caught, limit=1.0)
+    (exc,) = caught
+    assert "backend exploded" in exc.detail
+    assert exc.rpc_name == "bad"
+    assert exc.target == "svr"
+
+
+def test_server_survives_handler_exception():
+    """One poisoned request must not take the server down."""
+    world = make_pair()
+
+    def sometimes_bad(mi, handle):
+        inp = yield from mi.get_input(handle)
+        if inp["i"] == 2:
+            raise RuntimeError("poison")
+        yield from mi.respond(handle, inp["i"])
+
+    world.server.register("op", sometimes_bad)
+    world.client.register("op")
+    ok, errors = [], []
+
+    def body(i):
+        try:
+            out = yield from world.client.forward("svr", "op", {"i": i})
+            ok.append(out)
+        except RemoteRpcError:
+            errors.append(i)
+
+    for i in range(5):
+        world.client.client_ult(body(i))
+    world.sim.run_until(lambda: len(ok) + len(errors) == 5, limit=1.0)
+    assert sorted(ok) == [0, 1, 3, 4]
+    assert errors == [2]
+    assert len(world.server.handler_errors) == 1
+    assert world.server.handler_errors[0][0] == "op"
+
+
+def test_exception_after_respond_is_logged_not_resent():
+    world = make_pair()
+
+    def late_failure(mi, handle):
+        yield from mi.get_input(handle)
+        yield from mi.respond(handle, "fine")
+        raise RuntimeError("cleanup failed")
+
+    world.server.register("late", late_failure)
+    world.client.register("late")
+    results = run_client_calls(world, [("late", {})])
+    world.sim.run_until(lambda: results, limit=1.0)
+    assert results == ["fine"]  # client saw the successful response
+    assert len(world.server.handler_errors) == 1
+
+
+def test_forward_timeout_raises_and_cancels():
+    world = make_pair()
+
+    def glacial(mi, handle):
+        yield from mi.get_input(handle)
+        yield abt.Compute(1.0)  # way past the timeout
+        yield from mi.respond(handle, "too late")
+
+    world.server.register("slow", glacial)
+    world.client.register("slow")
+    caught = []
+
+    def body():
+        try:
+            yield from world.client.forward("svr", "slow", {}, timeout=1e-3)
+        except MargoTimeoutError as exc:
+            caught.append(exc)
+
+    world.client.client_ult(body())
+    world.sim.run_until(lambda: caught, limit=0.01)
+    (exc,) = caught
+    assert exc.timeout == 1e-3
+    # The late response must be dropped harmlessly.
+    world.sim.run(until=1.5)
+    assert len(world.client.hg._posted) == 0
+
+
+def test_forward_within_timeout_succeeds():
+    world = make_pair()
+    world.server.register("echo", echo_handler)
+    world.client.register("echo")
+    results = []
+
+    def body():
+        out = yield from world.client.forward(
+            "svr", "echo", {"x": 1}, timeout=0.1
+        )
+        results.append(out)
+
+    world.client.client_ult(body())
+    world.sim.run_until(lambda: results, limit=1.0)
+    assert results == [{"echo": {"x": 1}}]
+
+
+def test_timeout_then_retry_pattern():
+    """The classic client pattern: timeout, then retry successfully."""
+    world = make_pair()
+    state = {"calls": 0}
+
+    def flaky(mi, handle):
+        yield from mi.get_input(handle)
+        state["calls"] += 1
+        if state["calls"] == 1:
+            yield abt.Compute(50e-3)  # first call stalls
+        yield from mi.respond(handle, state["calls"])
+
+    world.server.register("flaky", flaky)
+    world.client.register("flaky")
+    outcome = []
+
+    def body():
+        for attempt in range(3):
+            try:
+                out = yield from world.client.forward(
+                    "svr", "flaky", {}, timeout=5e-3
+                )
+                outcome.append(("ok", out, attempt))
+                return
+            except MargoTimeoutError:
+                continue
+        outcome.append(("gave-up", None, 3))
+
+    world.client.client_ult(body())
+    world.sim.run_until(lambda: outcome, limit=1.0)
+    status, out, attempt = outcome[0]
+    assert status == "ok"
+    assert attempt == 1  # first retry succeeded
+    assert out == 2
+
+
+def test_error_payload_key_is_reserved():
+    """A handler's legitimate dict response may not collide with the
+    error marker -- the wrapper only sets it on failure, so a normal
+    response passes through untouched."""
+    world = make_pair()
+
+    def handler(mi, handle):
+        yield from mi.get_input(handle)
+        yield from mi.respond(handle, {"data": 42})
+
+    world.server.register("normal", handler)
+    world.client.register("normal")
+    results = run_client_calls(world, [("normal", {})])
+    world.sim.run_until(lambda: results, limit=1.0)
+    assert results == [{"data": 42}]

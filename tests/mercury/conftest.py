@@ -1,0 +1,102 @@
+"""Shared Mercury test harness: two processes wired through a fabric, each
+with an Argobots runtime, an HG instance, and a minimal progress loop.
+
+The Margo layer provides the production version of this wiring; these
+fixtures keep Mercury's unit tests independent of it.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.argobots import AbtRuntime, YieldNow
+from repro.mercury import HGConfig, HGCore
+from repro.net import Fabric, FabricConfig
+from repro.sim import Simulator
+
+
+def _progress_loop(side):
+    while True:
+        yield from side.hg.progress(timeout=50e-6)
+        yield from side.hg.trigger()
+        yield YieldNow()
+
+
+def make_world(
+    *,
+    pvars=True,
+    hg_config=None,
+    fabric_config=None,
+    names=(("cli", "n0"), ("svr", "n1")),
+    handler_es=1,
+):
+    """Build a small Mercury world; returns (sim, {name: side})."""
+    sim = Simulator()
+    fabric = Fabric(sim, fabric_config or FabricConfig())
+    world = {}
+    for name, node in names:
+        ep = fabric.create_endpoint(name, node=node)
+        rt = AbtRuntime(sim, name)
+        primary = rt.create_pool(f"{name}.primary")
+        rt.create_xstream(primary, f"{name}.es0")
+        handler_pool = rt.create_pool(f"{name}.handlers")
+        for i in range(handler_es):
+            rt.create_xstream(handler_pool, f"{name}.hes{i}")
+        hg = HGCore(
+            sim,
+            fabric,
+            ep,
+            rt,
+            config=hg_config or HGConfig(),
+            pvars_enabled=pvars,
+        )
+        side = SimpleNamespace(
+            name=name, ep=ep, rt=rt, primary=primary, handlers=handler_pool, hg=hg
+        )
+        rt.spawn(_progress_loop(side), primary, name=f"{name}.progress")
+        world[name] = side
+    return sim, world
+
+
+def serve_echo(side, work_time=0.0, rpc_name="echo"):
+    """Register an echo RPC whose handler optionally computes for a while.
+    Returns a list collecting the target-side handles (for PVAR checks)."""
+    from repro.argobots import Compute
+
+    seen = []
+
+    def on_arrival(handle):
+        def handler():
+            seen.append(handle)
+            inp = yield from side.hg.get_input(handle)
+            if work_time > 0:
+                yield Compute(work_time)
+            ev = side.rt.eventual()
+            yield from side.hg.respond(handle, {"echo": inp}, lambda h: ev.signal())
+            yield from ev.wait()
+
+        side.rt.spawn(handler(), side.handlers, name=f"{rpc_name}.handler")
+
+    side.hg.register(rpc_name, on_arrival)
+    return seen
+
+
+def call_rpc(side, target, rpc_name, payload, results):
+    """Spawn a client ULT that forwards one RPC and appends
+    (output, origin_handle, completion_time) to ``results``."""
+
+    def body():
+        side.hg.register(rpc_name)
+        h = side.hg.create(target, rpc_name)
+        ev = side.rt.eventual()
+        yield from side.hg.forward(h, payload, lambda hh: ev.signal(hh))
+        hh = yield from ev.wait()
+        results.append((hh.output, hh, side.rt.sim.now))
+
+    return side.rt.spawn(body(), side.primary, name=f"call:{rpc_name}")
+
+
+@pytest.fixture
+def world():
+    sim, sides = make_world()
+    return SimpleNamespace(sim=sim, cli=sides["cli"], svr=sides["svr"])

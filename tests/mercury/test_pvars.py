@@ -1,0 +1,301 @@
+"""Tests for the PVAR subsystem and the external tool interface."""
+
+import pytest
+
+from repro.mercury import (
+    HGConfig,
+    PvarBinding,
+    PvarClass,
+    PvarDef,
+    PvarError,
+    PvarRegistry,
+)
+from .conftest import call_rpc, make_world, serve_echo
+
+
+# ------------------------------------------------------ registry unit tests
+
+
+def test_registry_define_and_info():
+    reg = PvarRegistry()
+    reg.define(
+        PvarDef("c", PvarClass.COUNTER, PvarBinding.NO_OBJECT, "a counter")
+    )
+    assert reg.num_pvars == 1
+    info = reg.info(0)
+    assert info.name == "c"
+    assert info.pvar_class is PvarClass.COUNTER
+
+
+def test_registry_duplicate_name_rejected():
+    reg = PvarRegistry()
+    d = PvarDef("c", PvarClass.COUNTER, PvarBinding.NO_OBJECT, "x")
+    reg.define(d)
+    with pytest.raises(PvarError):
+        reg.define(d)
+
+
+def test_registry_counter_monotonic():
+    reg = PvarRegistry()
+    reg.define(PvarDef("c", PvarClass.COUNTER, PvarBinding.NO_OBJECT, "x"))
+    reg.add("c", 5)
+    reg.add("c", 2)
+    assert reg.raw_value("c") == 7
+    with pytest.raises(PvarError):
+        reg.add("c", -1)
+
+
+def test_registry_level_can_fall():
+    reg = PvarRegistry()
+    reg.define(PvarDef("l", PvarClass.LEVEL, PvarBinding.NO_OBJECT, "x"))
+    reg.add("l", 3)
+    reg.add("l", -2)
+    assert reg.raw_value("l") == 1
+
+
+def test_registry_watermarks():
+    reg = PvarRegistry()
+    reg.define(PvarDef("hi", PvarClass.HIGHWATERMARK, PvarBinding.NO_OBJECT, "x"))
+    reg.define(PvarDef("lo", PvarClass.LOWWATERMARK, PvarBinding.NO_OBJECT, "x"))
+    for v in (5, 3, 9, 1):
+        reg.watermark("hi", v)
+        reg.watermark("lo", v)
+    assert reg.raw_value("hi") == 9
+    assert reg.raw_value("lo") == 1
+
+
+def test_registry_watermark_on_counter_rejected():
+    reg = PvarRegistry()
+    reg.define(PvarDef("c", PvarClass.COUNTER, PvarBinding.NO_OBJECT, "x"))
+    with pytest.raises(PvarError):
+        reg.watermark("c", 1)
+
+
+def test_registry_getter_pvar_cannot_be_set():
+    reg = PvarRegistry()
+    reg.define(
+        PvarDef("g", PvarClass.STATE, PvarBinding.NO_OBJECT, "x", getter=lambda: 42)
+    )
+    assert reg.raw_value("g") == 42
+    with pytest.raises(PvarError):
+        reg.set("g", 1)
+
+
+def test_registry_handle_bound_cannot_be_set_globally():
+    reg = PvarRegistry()
+    reg.define(PvarDef("t", PvarClass.TIMER, PvarBinding.HANDLE, "x"))
+    with pytest.raises(PvarError):
+        reg.set("t", 1.0)
+    with pytest.raises(PvarError):
+        reg.raw_value("t")
+
+
+def test_registry_unknown_name():
+    reg = PvarRegistry()
+    with pytest.raises(PvarError):
+        reg.index_of("nope")
+    with pytest.raises(PvarError):
+        reg.info(0)
+
+
+# ------------------------------------------------------ Table I / II coverage
+
+
+def test_all_seven_pvar_classes_exported(world):
+    """Table I: every PVAR class is represented by at least one exported
+    PVAR."""
+    sess = world.svr.hg.pvar_session_init()
+    classes = {
+        sess.get_info(i).pvar_class for i in range(sess.get_num_pvars())
+    }
+    assert classes == set(PvarClass)
+
+
+TABLE_II = {
+    "num_posted_handles": (PvarClass.LEVEL, PvarBinding.NO_OBJECT),
+    "completion_queue_size": (PvarClass.STATE, PvarBinding.NO_OBJECT),
+    "num_ofi_events_read": (PvarClass.LEVEL, PvarBinding.NO_OBJECT),
+    "num_rpcs_invoked": (PvarClass.COUNTER, PvarBinding.NO_OBJECT),
+    "internal_rdma_transfer_time": (PvarClass.TIMER, PvarBinding.HANDLE),
+    "input_serialization_time": (PvarClass.TIMER, PvarBinding.HANDLE),
+    "input_deserialization_time": (PvarClass.TIMER, PvarBinding.HANDLE),
+    "origin_completion_callback_time": (PvarClass.TIMER, PvarBinding.HANDLE),
+}
+
+
+def test_table_ii_pvars_present_with_correct_class_and_binding(world):
+    sess = world.cli.hg.pvar_session_init()
+    infos = {
+        sess.get_info(i).name: sess.get_info(i)
+        for i in range(sess.get_num_pvars())
+    }
+    for name, (cls, binding) in TABLE_II.items():
+        assert name in infos, f"missing Table II PVAR {name}"
+        assert infos[name].pvar_class is cls
+        assert infos[name].binding is binding
+
+
+# ------------------------------------------------------ session protocol
+
+
+def test_session_protocol_full_cycle(world):
+    serve_echo(world.svr)
+    results = []
+    call_rpc(world.cli, "svr", "echo", {"k": 1}, results)
+    world.sim.run(until=0.05)
+
+    sess = world.cli.hg.pvar_session_init()
+    n = sess.get_num_pvars()
+    assert n >= len(TABLE_II)
+    ph = sess.handle_alloc_by_name("num_rpcs_invoked")
+    assert sess.read(ph) == 1
+    sess.handle_free(ph)
+    sess.finalize()
+    assert sess.finalized
+
+
+def test_session_read_handle_bound_requires_hg_handle(world):
+    serve_echo(world.svr)
+    results = []
+    call_rpc(world.cli, "svr", "echo", {}, results)
+    world.sim.run(until=0.05)
+    sess = world.cli.hg.pvar_session_init()
+    ph = sess.handle_alloc_by_name("input_serialization_time")
+    with pytest.raises(PvarError):
+        sess.read(ph)
+    origin_handle = results[0][1]
+    assert sess.read(ph, origin_handle) > 0
+
+
+def test_session_finalized_rejects_use(world):
+    sess = world.cli.hg.pvar_session_init()
+    sess.finalize()
+    with pytest.raises(PvarError):
+        sess.get_num_pvars()
+    with pytest.raises(PvarError):
+        sess.finalize()
+
+
+def test_session_freed_handle_rejects_read(world):
+    sess = world.cli.hg.pvar_session_init()
+    ph = sess.handle_alloc_by_name("num_rpcs_invoked")
+    sess.handle_free(ph)
+    with pytest.raises(PvarError):
+        sess.read(ph)
+    with pytest.raises(PvarError):
+        sess.handle_free(ph)
+
+
+def test_session_cross_session_handle_rejected(world):
+    s1 = world.cli.hg.pvar_session_init()
+    s2 = world.cli.hg.pvar_session_init()
+    ph = s1.handle_alloc_by_name("num_rpcs_invoked")
+    with pytest.raises(PvarError):
+        s2.read(ph)
+
+
+def test_sessions_have_unique_ids(world):
+    s1 = world.cli.hg.pvar_session_init()
+    s2 = world.cli.hg.pvar_session_init()
+    assert s1.session_id != s2.session_id
+
+
+# ------------------------------------------------------ PVAR values from real RPCs
+
+
+def test_origin_handle_timers_recorded(world):
+    serve_echo(world.svr)
+    results = []
+    call_rpc(world.cli, "svr", "echo", {"payload": "x" * 100}, results)
+    world.sim.run(until=0.05)
+    handle = results[0][1]
+    assert handle.pvar_get("input_serialization_time") > 0
+    assert handle.pvar_get("origin_completion_callback_time") >= 0
+
+
+def test_target_handle_timers_recorded(world):
+    seen = serve_echo(world.svr)
+    results = []
+    call_rpc(world.cli, "svr", "echo", {"payload": "y" * 100}, results)
+    world.sim.run(until=0.05)
+    th = seen[0]
+    assert th.pvar_get("input_deserialization_time") > 0
+    assert th.pvar_get("output_serialization_time") > 0
+    assert th.pvar_get("internal_rdma_transfer_time") == 0.0
+
+
+def test_eager_overflow_triggers_internal_rdma():
+    sim, sides = make_world(hg_config=HGConfig(eager_size=256))
+    seen = serve_echo(sides["svr"])
+    results = []
+    call_rpc(sides["cli"], "svr", "echo", "z" * 5000, results)
+    sim.run(until=0.5)
+    assert len(results) == 1
+    th = seen[0]
+    assert th.pvar_get("internal_rdma_transfer_time") > 0
+    sess = sides["cli"].hg.pvar_session_init()
+    assert sess.read_by_name("eager_overflow_count") == 1
+
+
+def test_small_payload_does_not_overflow(world):
+    serve_echo(world.svr)
+    results = []
+    call_rpc(world.cli, "svr", "echo", "tiny", results)
+    world.sim.run(until=0.05)
+    sess = world.cli.hg.pvar_session_init()
+    assert sess.read_by_name("eager_overflow_count") == 0
+
+
+def test_num_rpcs_invoked_counts(world):
+    serve_echo(world.svr)
+    results = []
+    for i in range(5):
+        call_rpc(world.cli, "svr", "echo", {"i": i}, results)
+    world.sim.run(until=0.5)
+    sess = world.cli.hg.pvar_session_init()
+    assert sess.read_by_name("num_rpcs_invoked") == 5
+    # The server side never invoked an RPC.
+    ssess = world.svr.hg.pvar_session_init()
+    assert ssess.read_by_name("num_rpcs_invoked") == 0
+
+
+def test_num_ofi_events_read_tracks_batch(world):
+    serve_echo(world.svr)
+    results = []
+    for i in range(20):
+        call_rpc(world.cli, "svr", "echo", {"i": i}, results)
+    world.sim.run(until=0.5)
+    sess = world.svr.hg.pvar_session_init()
+    last = sess.read_by_name("num_ofi_events_read")
+    hi = sess.read_by_name("max_ofi_events_read")
+    lo = sess.read_by_name("min_ofi_events_read")
+    assert 1 <= last <= world.svr.hg.config.ofi_max_events
+    assert 1 <= lo <= hi <= world.svr.hg.config.ofi_max_events
+
+
+def test_pvars_disabled_records_nothing():
+    sim, sides = make_world(pvars=False)
+    seen = serve_echo(sides["svr"])
+    results = []
+    call_rpc(sides["cli"], "svr", "echo", {}, results)
+    sim.run(until=0.5)
+    assert len(results) == 1
+    handle = results[0][1]
+    with pytest.raises(PvarError):
+        handle.pvar_get("input_serialization_time")
+    sess = sides["cli"].hg.pvar_session_init()
+    assert sess.read_by_name("num_rpcs_invoked") == 0
+
+
+def test_eager_buffer_size_pvar(world):
+    sess = world.cli.hg.pvar_session_init()
+    assert sess.read_by_name("eager_buffer_size") == world.cli.hg.config.eager_size
+
+
+def test_hg_config_validation():
+    with pytest.raises(ValueError):
+        HGConfig(ofi_max_events=0)
+    with pytest.raises(ValueError):
+        HGConfig(eager_size=-1)
+    with pytest.raises(ValueError):
+        HGConfig(post_cost=-1.0)

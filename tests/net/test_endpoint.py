@@ -1,0 +1,103 @@
+"""Tests for endpoint completion-queue semantics (cq_read / arm)."""
+
+import pytest
+
+from repro.net import CQEntry, CQKind, Endpoint
+from repro.sim import Simulator
+
+
+def entry(tag):
+    return CQEntry(kind=CQKind.RECV, payload=tag)
+
+
+def test_cq_read_respects_max_events():
+    """cq_read caps its batch at max_events -- the OFI_max_events bound
+    whose breach pattern is Figure 12."""
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    for i in range(40):
+        ep.push(entry(i))
+    batch = ep.cq_read(16)
+    assert len(batch) == 16
+    assert [e.payload for e in batch] == list(range(16))
+    assert ep.cq_depth == 24
+
+
+def test_cq_read_returns_fewer_when_queue_short():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    ep.push(entry("only"))
+    assert len(ep.cq_read(16)) == 1
+    assert ep.cq_read(16) == []
+
+
+def test_cq_read_rejects_nonpositive_max():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    with pytest.raises(ValueError):
+        ep.cq_read(0)
+
+
+def test_cq_high_watermark_tracks_backlog():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    for i in range(10):
+        ep.push(entry(i))
+    ep.cq_read(8)
+    for i in range(3):
+        ep.push(entry(i))
+    assert ep.cq_high_watermark == 10
+    assert ep.total_enqueued == 13
+    assert ep.total_read == 8
+
+
+def test_arm_fires_on_next_push():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    fired = []
+    ep.arm(lambda: fired.append("a"))
+    assert fired == []
+    ep.push(entry(1))
+    assert fired == ["a"]
+    # One-shot: further pushes do not re-fire.
+    ep.push(entry(2))
+    assert fired == ["a"]
+
+
+def test_arm_fires_immediately_when_nonempty():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    ep.push(entry(1))
+    fired = []
+    ep.arm(lambda: fired.append("now"))
+    assert fired == ["now"]
+
+
+def test_arm_multiple_waiters_all_fire():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    fired = []
+    ep.arm(lambda: fired.append("a"))
+    ep.arm(lambda: fired.append("b"))
+    ep.push(entry(1))
+    assert fired == ["a", "b"]
+
+
+def test_disarm_withdraws_callback():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    fired = []
+    disarm = ep.arm(lambda: fired.append("x"))
+    disarm()
+    ep.push(entry(1))
+    assert fired == []
+
+
+def test_disarm_after_fire_is_harmless():
+    sim = Simulator()
+    ep = Endpoint(sim, "x")
+    fired = []
+    disarm = ep.arm(lambda: fired.append("x"))
+    ep.push(entry(1))
+    disarm()
+    assert fired == ["x"]

@@ -1,0 +1,151 @@
+"""Tests for the fabric timing model and message delivery."""
+
+import pytest
+
+from repro.net import CQKind, Fabric, FabricConfig, Message
+from repro.sim import RngRegistry, Simulator
+
+
+def make_fabric(**cfg):
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig(**cfg))
+    a = fabric.create_endpoint("a", node="n0")
+    b = fabric.create_endpoint("b", node="n1")
+    return sim, fabric, a, b
+
+
+def test_message_delivered_after_wire_time():
+    sim, fabric, a, b = make_fabric(latency=1e-6, bandwidth=1e9)
+    msg = Message(src="a", dst="b", size_bytes=1000, payload="hi")
+    t = fabric.send(msg)
+    assert t == pytest.approx(1e-6 + 1000 / 1e9)
+    sim.run()
+    assert b.cq_depth == 1
+    entry = b.cq_read(16)[0]
+    assert entry.kind is CQKind.RECV
+    assert entry.payload.payload == "hi"
+    assert entry.enqueued_at == pytest.approx(t)
+
+
+def test_zero_size_message_takes_latency_only():
+    sim, fabric, a, b = make_fabric(latency=2e-6)
+    t = fabric.send(Message(src="a", dst="b", size_bytes=0, payload=None))
+    assert t == pytest.approx(2e-6)
+
+
+def test_larger_messages_take_longer():
+    sim, fabric, a, b = make_fabric(latency=1e-6, bandwidth=1e9)
+    t_small = fabric.wire_time("n0", "n1", 1_000)
+    t_big = fabric.wire_time("n0", "n1", 1_000_000)
+    assert t_big > t_small
+    assert t_big - t_small == pytest.approx(999_000 / 1e9)
+
+
+def test_intra_node_transfer_is_faster():
+    sim = Simulator()
+    fabric = Fabric(
+        sim,
+        FabricConfig(
+            latency=2e-6,
+            bandwidth=8e9,
+            intra_node_latency=0.2e-6,
+            intra_node_bandwidth=24e9,
+        ),
+    )
+    fabric.create_endpoint("x", node="n0")
+    fabric.create_endpoint("y", node="n0")
+    fabric.create_endpoint("z", node="n1")
+    assert fabric.wire_time("n0", "n0", 4096) < fabric.wire_time("n0", "n1", 4096)
+
+
+def test_empty_node_names_never_count_as_same_node():
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig(latency=1e-6, intra_node_latency=1e-9))
+    assert fabric.wire_time("", "", 0) == pytest.approx(1e-6)
+
+
+def test_local_send_completion_fires_after_injection():
+    sim, fabric, a, b = make_fabric(latency=1e-6, bandwidth=1e9)
+    fired = []
+    fabric.send(
+        Message(src="a", dst="b", size_bytes=2000, payload=None),
+        on_local_complete=lambda: fired.append(sim.now),
+    )
+    sim.run()
+    assert fired == [pytest.approx(2000 / 1e9)]
+
+
+def test_duplicate_endpoint_address_rejected():
+    sim, fabric, a, b = make_fabric()
+    with pytest.raises(ValueError):
+        fabric.create_endpoint("a")
+
+
+def test_unknown_endpoint_rejected():
+    sim, fabric, a, b = make_fabric()
+    with pytest.raises(KeyError):
+        fabric.send(Message(src="a", dst="nope", size_bytes=0, payload=None))
+
+
+def test_negative_message_size_rejected():
+    with pytest.raises(ValueError):
+        Message(src="a", dst="b", size_bytes=-1, payload=None)
+
+
+def test_traffic_accounting():
+    sim, fabric, a, b = make_fabric()
+    fabric.send(Message(src="a", dst="b", size_bytes=100, payload=None))
+    fabric.send(Message(src="b", dst="a", size_bytes=50, payload=None))
+    assert fabric.total_messages == 2
+    assert fabric.total_bytes == 150
+
+
+def test_rdma_get_completion_via_cq():
+    sim, fabric, a, b = make_fabric(latency=1e-6, bandwidth=1e9)
+    t = fabric.rdma_get("b", "a", size_bytes=10_000, payload="bulk-tag")
+    assert t == pytest.approx(2e-6 + 10_000 / 1e9)
+    sim.run()
+    (entry,) = b.cq_read(16)
+    assert entry.kind is CQKind.RDMA_COMPLETE
+    assert entry.payload == "bulk-tag"
+
+
+def test_rdma_get_inline_completion_bypasses_cq():
+    sim, fabric, a, b = make_fabric()
+    fired = []
+    fabric.rdma_get("b", "a", size_bytes=100, on_complete=lambda: fired.append(sim.now))
+    sim.run()
+    assert len(fired) == 1
+    assert b.cq_depth == 0
+
+
+def test_jitter_requires_rng_and_varies_times():
+    sim = Simulator()
+    rng = RngRegistry(7).stream("net")
+    fabric = Fabric(sim, FabricConfig(jitter_sigma=0.2), rng=rng)
+    times = {fabric.wire_time("n0", "n1", 0) for _ in range(16)}
+    assert len(times) > 1
+
+
+def test_no_jitter_is_deterministic():
+    sim, fabric, a, b = make_fabric(latency=1e-6)
+    times = {fabric.wire_time("n0", "n1", 512) for _ in range(16)}
+    assert len(times) == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FabricConfig(latency=-1.0)
+    with pytest.raises(ValueError):
+        FabricConfig(bandwidth=0)
+    with pytest.raises(ValueError):
+        FabricConfig(jitter_sigma=-0.1)
+
+
+def test_fifo_delivery_for_same_size_messages():
+    sim, fabric, a, b = make_fabric()
+    for i in range(5):
+        fabric.send(Message(src="a", dst="b", size_bytes=64, payload=i))
+    sim.run()
+    entries = b.cq_read(16)
+    assert [e.payload.payload for e in entries] == [0, 1, 2, 3, 4]

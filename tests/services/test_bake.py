@@ -1,0 +1,160 @@
+"""Tests for the BAKE microservice."""
+
+import pytest
+
+from repro.services.bake import BakeClient, BakeCosts, BakeProvider
+from .conftest import make_service_world, run_ult
+
+
+@pytest.fixture
+def bake_world():
+    world = make_service_world()
+    world.provider = BakeProvider(world.server, provider_id=1)
+    world.bake = BakeClient(world.client)
+    return world
+
+
+def test_create_write_read_roundtrip(bake_world):
+    w = bake_world
+    data = b"\xde\xad\xbe\xef" * 256
+
+    def body():
+        rid = yield from w.bake.create("svr", 1, len(data))
+        yield from w.bake.write("svr", 1, rid, 0, data)
+        got = yield from w.bake.read("svr", 1, rid, 0)
+        return rid, got
+
+    rid, got = run_ult(w, body())
+    assert got == data
+    assert rid in w.provider.regions
+
+
+def test_persist_marks_region(bake_world):
+    w = bake_world
+
+    def body():
+        rid = yield from w.bake.create("svr", 1, 64)
+        yield from w.bake.write("svr", 1, rid, 0, b"y" * 64)
+        yield from w.bake.persist("svr", 1, rid)
+        return rid
+
+    rid = run_ult(w, body())
+    assert w.provider.regions[rid].persisted
+
+
+def test_create_write_persist_combined(bake_world):
+    w = bake_world
+    data = b"z" * 500
+
+    def body():
+        rid = yield from w.bake.create_write_persist("svr", 1, data)
+        size = yield from w.bake.get_size("svr", 1, rid)
+        got = yield from w.bake.read("svr", 1, rid, 0)
+        return rid, size, got
+
+    rid, size, got = run_ult(w, body())
+    assert size == 500
+    assert got == data
+    assert w.provider.regions[rid].persisted
+
+
+def test_read_missing_offset_returns_none(bake_world):
+    w = bake_world
+
+    def body():
+        rid = yield from w.bake.create("svr", 1, 64)
+        got = yield from w.bake.read("svr", 1, rid, 12345)
+        return got
+
+    assert run_ult(w, body()) is None
+
+
+def test_write_past_capacity_fails_loudly(bake_world):
+    w = bake_world
+
+    def body():
+        rid = yield from w.bake.create("svr", 1, 10)
+        yield from w.bake.write("svr", 1, rid, 0, b"x" * 100)
+
+    w.client.client_ult(body())
+    from repro.margo import RemoteRpcError
+
+    with pytest.raises(RemoteRpcError, match="past region end"):
+        w.sim.run(until=1.0)
+
+
+def test_unknown_region_fails_loudly(bake_world):
+    w = bake_world
+
+    def body():
+        yield from w.bake.persist("svr", 1, 424242)
+
+    w.client.client_ult(body())
+    from repro.margo import RemoteRpcError
+
+    with pytest.raises(RemoteRpcError, match="unknown BAKE region"):
+        w.sim.run(until=1.0)
+
+
+def test_larger_writes_take_longer():
+    durations = {}
+    for size in (1_000, 10_000_000):
+        world = make_service_world()
+        BakeProvider(world.server, provider_id=1)
+        bake = BakeClient(world.client)
+
+        def body(sz=size):
+            t0 = world.sim.now
+            yield from bake.create_write_persist("svr", 1, b"x" * sz)
+            return world.sim.now - t0
+
+        durations[size] = run_ult(world, body())
+    assert durations[10_000_000] > 2 * durations[1_000]
+
+
+def test_persist_cost_scales_with_bytes():
+    slow = BakeCosts(persist_per_byte=1e-6)
+    fast = BakeCosts(persist_per_byte=0.0)
+    durations = {}
+    for tag, costs in (("slow", slow), ("fast", fast)):
+        world = make_service_world()
+        BakeProvider(world.server, provider_id=1, costs=costs)
+        bake = BakeClient(world.client)
+
+        def body():
+            rid = yield from bake.create("svr", 1, 4096)
+            yield from bake.write("svr", 1, rid, 0, b"x" * 4096)
+            t0 = world.sim.now
+            yield from bake.persist("svr", 1, rid)
+            return world.sim.now - t0
+
+        durations[tag] = run_ult(world, body(), until=10.0)
+    assert durations["slow"] > 100 * durations["fast"]
+
+
+def test_memory_gauge_tracks_writes(bake_world):
+    w = bake_world
+
+    def body():
+        yield from w.bake.create_write_persist("svr", 1, b"m" * 2048)
+
+    run_ult(w, body())
+    assert w.server.stats.memory_bytes >= 2048
+
+
+def test_fragments_stored_by_offset(bake_world):
+    w = bake_world
+
+    def body():
+        rid = yield from w.bake.create("svr", 1, 1000)
+        yield from w.bake.write("svr", 1, rid, 0, b"a" * 100)
+        yield from w.bake.write("svr", 1, rid, 500, b"b" * 100)
+        first = yield from w.bake.read("svr", 1, rid, 0)
+        second = yield from w.bake.read("svr", 1, rid, 500)
+        size = yield from w.bake.get_size("svr", 1, rid)
+        return first, second, size
+
+    first, second, size = run_ult(w, body())
+    assert first == b"a" * 100
+    assert second == b"b" * 100
+    assert size == 200

@@ -1,0 +1,151 @@
+"""Tests for the FlameStore model-checkpoint service."""
+
+import pytest
+
+from repro.margo import MargoInstance
+from repro.net import Fabric, FabricConfig
+from repro.services.flamestore import (
+    FlameStoreClient,
+    FlameStoreDeployment,
+    FlameStoreError,
+)
+from repro.sim import RngRegistry, Simulator
+
+
+def make_store(n_workers=3):
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    dep = FlameStoreDeployment.deploy(sim, fabric, n_workers=n_workers)
+    mi = MargoInstance(sim, fabric, "trainer", "tnode")
+    client = FlameStoreClient(mi, dep)
+    return sim, dep, mi, client
+
+
+def run_gen(sim, mi, gen, limit=10.0):
+    out = {}
+
+    def body():
+        out["result"] = yield from gen
+
+    mi.client_ult(body())
+    assert sim.run_until(lambda: "result" in out, limit=limit)
+    return out["result"]
+
+
+def sample_tensors(n_layers=5, size=2048, seed=9):
+    rng = RngRegistry(seed).stream("model")
+    return {
+        f"layer{i}": rng.integers(0, 256, size=size, dtype="uint8").tobytes()
+        for i in range(n_layers)
+    }
+
+
+def test_checkpoint_and_reload_bit_exact():
+    sim, dep, mi, client = make_store()
+    tensors = sample_tensors()
+
+    def flow():
+        yield from client.checkpoint("resnet", tensors)
+        return (yield from client.load_model("resnet"))
+
+    restored = run_gen(sim, mi, flow())
+    assert restored == tensors
+
+
+def test_layers_placed_round_robin_across_workers():
+    sim, dep, mi, client = make_store(n_workers=3)
+    tensors = sample_tensors(n_layers=6)
+
+    def flow():
+        return (yield from client.checkpoint("m", tensors))
+
+    placement = run_gen(sim, mi, flow())
+    workers = list(placement.values())
+    assert set(workers) == {f"flame-worker{i}" for i in range(3)}
+    # Round-robin: each worker got exactly two of the six layers.
+    assert all(workers.count(w) == 2 for w in set(workers))
+    # And the tensors physically live on the workers (BAKE regions).
+    assert all(p.regions for p in dep.bake_providers)
+
+
+def test_duplicate_model_rejected():
+    sim, dep, mi, client = make_store()
+
+    def flow():
+        yield from client.register_model("dup", [("l", 8)])
+        try:
+            yield from client.register_model("dup", [("l", 8)])
+        except FlameStoreError as exc:
+            return str(exc)
+
+    assert "exists" in run_gen(sim, mi, flow())
+
+
+def test_commit_requires_all_layers():
+    sim, dep, mi, client = make_store()
+
+    def flow():
+        placement = yield from client.register_model(
+            "partial", [("a", 8), ("b", 8)]
+        )
+        yield from client.write_layer("partial", "a", placement, b"x" * 8)
+        try:
+            yield from client.commit_model("partial")
+        except FlameStoreError as exc:
+            return str(exc)
+
+    assert "missing layers" in run_gen(sim, mi, flow())
+
+
+def test_load_uncommitted_rejected():
+    sim, dep, mi, client = make_store()
+
+    def flow():
+        yield from client.register_model("wip", [("a", 8)])
+        try:
+            yield from client.load_model("wip")
+        except FlameStoreError as exc:
+            return str(exc)
+
+    assert "not committed" in run_gen(sim, mi, flow())
+
+
+def test_unknown_model_and_layer_errors():
+    sim, dep, mi, client = make_store()
+
+    def flow():
+        errors = []
+        try:
+            yield from client.load_model("ghost")
+        except FlameStoreError as exc:
+            errors.append(str(exc))
+        try:
+            yield from client.write_layer("ghost", "l", {}, b"x")
+        except FlameStoreError as exc:
+            errors.append(str(exc))
+        return errors
+
+    errors = run_gen(sim, mi, flow())
+    assert len(errors) == 2
+
+
+def test_list_models_reports_status():
+    sim, dep, mi, client = make_store()
+
+    def flow():
+        yield from client.checkpoint("done", sample_tensors(n_layers=2))
+        yield from client.register_model("wip", [("a", 8)])
+        return (yield from client.list_models())
+
+    models = run_gen(sim, mi, flow())
+    assert models == [["done", True], ["wip", False]] or models == [
+        ("done", True),
+        ("wip", False),
+    ]
+
+
+def test_deploy_validation():
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    with pytest.raises(ValueError):
+        FlameStoreDeployment.deploy(sim, fabric, n_workers=0)

@@ -1,0 +1,238 @@
+"""Tests for the GekkoFS distributed filesystem."""
+
+import pytest
+
+from repro.margo import MargoInstance
+from repro.net import Fabric, FabricConfig
+from repro.services.gekkofs import (
+    GekkoFSClient,
+    GekkoFSCluster,
+    GekkoFSError,
+)
+from repro.sim import RngRegistry, Simulator
+from repro.symbiosys import Stage, SymbiosysCollector
+
+
+def make_fs(n_daemons=3, chunk_size=1024, stage=None):
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    collector = SymbiosysCollector(stage) if stage is not None else None
+    cluster = GekkoFSCluster.deploy(
+        sim,
+        fabric,
+        n_daemons=n_daemons,
+        instrumentation_factory=(
+            collector.create_instrumentation if collector else None
+        ),
+    )
+    mi = MargoInstance(
+        sim, fabric, "app", "cnode",
+        instrumentation=collector.create_instrumentation() if collector else None,
+    )
+    client = GekkoFSClient(mi, cluster, chunk_size=chunk_size)
+    return sim, cluster, mi, client, collector
+
+
+def run_gen(sim, mi, gen, limit=10.0):
+    out = {}
+
+    def body():
+        out["result"] = yield from gen
+
+    mi.client_ult(body())
+    assert sim.run_until(lambda: "result" in out, limit=limit)
+    return out["result"]
+
+
+def test_create_stat_roundtrip():
+    sim, cluster, mi, client, _ = make_fs()
+
+    def flow():
+        yield from client.create("/data/file1", mode=0o600)
+        return (yield from client.stat("/data/file1"))
+
+    st = run_gen(sim, mi, flow())
+    assert st["size"] == 0
+    assert st["mode"] == 0o600
+
+
+def test_create_existing_raises():
+    sim, cluster, mi, client, _ = make_fs()
+
+    def flow():
+        yield from client.create("/f")
+        try:
+            yield from client.create("/f")
+        except GekkoFSError as exc:
+            return str(exc)
+
+    assert "EEXIST" in run_gen(sim, mi, flow())
+
+
+def test_stat_missing_raises():
+    sim, cluster, mi, client, _ = make_fs()
+
+    def flow():
+        try:
+            yield from client.stat("/ghost")
+        except GekkoFSError as exc:
+            return str(exc)
+
+    assert "ENOENT" in run_gen(sim, mi, flow())
+
+
+def test_write_read_roundtrip_multichunk():
+    sim, cluster, mi, client, _ = make_fs(chunk_size=1024)
+    data = RngRegistry(3).stream("fs").integers(
+        0, 256, size=5000, dtype="uint8"
+    ).tobytes()
+
+    def flow():
+        yield from client.create("/big")
+        n = yield from client.write("/big", 0, data)
+        got = yield from client.read("/big", 0, len(data))
+        st = yield from client.stat("/big")
+        return n, got, st
+
+    n, got, st = run_gen(sim, mi, flow())
+    assert n == 5000
+    assert got == data
+    assert st["size"] == 5000
+    # 5000 bytes / 1024 chunk size => 5 chunks, striped over daemons.
+    assert cluster.total_chunks == 5
+
+
+def test_chunks_stripe_across_daemons():
+    sim, cluster, mi, client, _ = make_fs(n_daemons=4, chunk_size=512)
+
+    def flow():
+        yield from client.create("/striped")
+        yield from client.write("/striped", 0, b"s" * 8192)
+
+    run_gen(sim, mi, flow())
+    holders = [d for d in cluster.daemons if d.chunks]
+    assert len(holders) >= 3  # 16 chunks over 4 daemons
+
+
+def test_partial_and_offset_reads():
+    sim, cluster, mi, client, _ = make_fs(chunk_size=100)
+    payload = bytes(range(250))
+
+    def flow():
+        yield from client.create("/p")
+        yield from client.write("/p", 0, payload)
+        middle = yield from client.read("/p", 50, 120)
+        tail = yield from client.read("/p", 200, 999)
+        empty = yield from client.read("/p", 250, 10)
+        return middle, tail, empty
+
+    middle, tail, empty = run_gen(sim, mi, flow())
+    assert middle == payload[50:170]
+    assert tail == payload[200:250]
+    assert empty == b""
+
+
+def test_sparse_write_with_offset():
+    sim, cluster, mi, client, _ = make_fs(chunk_size=64)
+
+    def flow():
+        yield from client.create("/sparse")
+        yield from client.write("/sparse", 100, b"XY")
+        st = yield from client.stat("/sparse")
+        got = yield from client.read("/sparse", 100, 2)
+        return st, got
+
+    st, got = run_gen(sim, mi, flow())
+    assert st["size"] == 102
+    assert got == b"XY"
+
+
+def test_overwrite_within_chunk():
+    sim, cluster, mi, client, _ = make_fs(chunk_size=64)
+
+    def flow():
+        yield from client.create("/ow")
+        yield from client.write("/ow", 0, b"a" * 32)
+        yield from client.write("/ow", 8, b"B" * 4)
+        return (yield from client.read("/ow", 0, 32))
+
+    got = run_gen(sim, mi, flow())
+    assert got == b"a" * 8 + b"B" * 4 + b"a" * 20
+
+
+def test_unlink_removes_metadata_and_chunks():
+    sim, cluster, mi, client, _ = make_fs(chunk_size=128)
+
+    def flow():
+        yield from client.create("/gone")
+        yield from client.write("/gone", 0, b"g" * 600)
+        yield from client.unlink("/gone")
+        try:
+            yield from client.stat("/gone")
+        except GekkoFSError:
+            return True
+
+    assert run_gen(sim, mi, flow()) is True
+    assert cluster.total_chunks == 0
+
+
+def test_readdir_broadcasts_across_daemons():
+    sim, cluster, mi, client, _ = make_fs(n_daemons=4)
+
+    def flow():
+        for name in ("/d/a", "/d/b", "/d/c", "/other/x"):
+            yield from client.create(name)
+        under_d = yield from client.readdir("/d/")
+        everything = yield from client.readdir("/")
+        return under_d, everything
+
+    under_d, everything = run_gen(sim, mi, flow())
+    assert under_d == ["/d/a", "/d/b", "/d/c"]
+    assert everything == ["/d/a", "/d/b", "/d/c", "/other/x"]
+    # Metadata really is distributed (no central server).
+    md_holders = [d for d in cluster.daemons if d.metadata]
+    assert len(md_holders) >= 2
+
+
+def test_symbiosys_profiles_gekkofs_callpaths():
+    """SYMBIOSYS is service-agnostic: GekkoFS callpaths appear in the
+    profile summary with decoded names."""
+    from repro.symbiosys.analysis import profile_summary
+
+    sim, cluster, mi, client, collector = make_fs(stage=Stage.FULL,
+                                                  chunk_size=512)
+
+    def flow():
+        yield from client.create("/traced")
+        yield from client.write("/traced", 0, b"t" * 2048)
+        yield from client.read("/traced", 0, 2048)
+
+    run_gen(sim, mi, flow())
+    summary = profile_summary(collector)
+    names = {row.name for row in summary.rows}
+    assert "gkfs_write_chunk_rpc" in names
+    assert "gkfs_read_chunk_rpc" in names
+    assert "gkfs_stat_rpc" in names
+    write_row = summary.row_for("gkfs_write_chunk_rpc")
+    assert write_row.call_count == 4  # 2048 / 512
+
+
+def test_client_validates_args():
+    sim, cluster, mi, client, _ = make_fs()
+    with pytest.raises(ValueError):
+        GekkoFSClient(mi, cluster, chunk_size=0)
+
+    def flow():
+        yield from client.create("/v")
+        yield from client.write("/v", -1, b"x")
+
+    mi.client_ult(flow())
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_deploy_validation():
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    with pytest.raises(ValueError):
+        GekkoFSCluster.deploy(sim, fabric, n_daemons=0)

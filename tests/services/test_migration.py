@@ -1,0 +1,180 @@
+"""Tests for SDSKV snapshotting and REMI-based database migration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.argobots import AbtRuntime
+from repro.margo import MargoInstance
+from repro.net import Fabric, FabricConfig
+from repro.services.remi import RemiClient, RemiProvider
+from repro.services.sdskv import SdskvProvider, make_database
+from repro.services.sdskv.snapshot import (
+    decode_value,
+    dump_database,
+    encode_value,
+    load_snapshot,
+    migrate_database,
+)
+from repro.sim import Simulator
+
+
+# ------------------------------------------------------------ codec
+
+
+def test_encode_decode_scalars():
+    for v in (None, True, False, 7, 3.5, "text"):
+        assert decode_value(encode_value(v)) == v
+
+
+def test_encode_decode_bytes_and_tuples():
+    assert decode_value(encode_value(b"\x00\xff")) == b"\x00\xff"
+    assert decode_value(encode_value((1, b"x", "s"))) == (1, b"x", "s")
+
+
+def test_encode_decode_nested():
+    value = {"rows": [(1, b"a"), (2, b"b")], "meta": {"n": 2}}
+    assert decode_value(encode_value(value)) == value
+
+
+def test_encode_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode_value(object())
+
+
+def test_encode_rejects_tag_collision():
+    with pytest.raises(ValueError):
+        encode_value({"__b64__": "sneaky"})
+
+
+payload_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(2**53), 2**53),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(max_size=6).filter(
+                lambda k: k not in ("__b64__", "__tuple__")
+            ),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@given(payload_values)
+@settings(max_examples=80)
+def test_property_codec_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+# ------------------------------------------------------------ snapshots
+
+
+def make_db_world():
+    sim = Simulator()
+    rt = AbtRuntime(sim, ctx_switch_cost=0.0)
+    pool = rt.create_pool()
+    rt.create_xstream(pool)
+    return sim, rt, pool
+
+
+def test_dump_and_load_snapshot():
+    sim, rt, pool = make_db_world()
+    src = make_database("map", rt, db_id=0)
+    dst = make_database("map", rt, db_id=1)
+    done = {}
+
+    def body():
+        yield from src.put_many(
+            [("a", {"x": 1}), ("b", b"blob"), ("c", [1, 2, 3])]
+        )
+        snap = dump_database(src)
+        done["n"] = yield from load_snapshot(dst, snap)
+        done["a"] = yield from dst.get("a")
+        done["b"] = yield from dst.get("b")
+
+    rt.spawn(body(), pool)
+    sim.run(until=1.0)
+    assert done["n"] == 3
+    assert done["a"] == {"x": 1}
+    assert done["b"] == b"blob"
+    assert len(dst) == len(src)
+
+
+# ------------------------------------------------------------ full migration
+
+
+def test_migrate_database_between_providers():
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    src_mi = MargoInstance(sim, fabric, "src", "n0")
+    dst_mi = MargoInstance(sim, fabric, "dst", "n1")
+    # Source hosts sdskv + the REMI origin; destination hosts sdskv + REMI.
+    src_skv = SdskvProvider(src_mi, provider_id=2, n_databases=1)
+    dst_skv = SdskvProvider(dst_mi, provider_id=2, n_databases=1)
+    dst_remi = RemiProvider(dst_mi, provider_id=3)
+    remi = RemiClient(src_mi)
+
+    pairs = [(f"k{i:03d}", b"v" * (i + 1)) for i in range(40)]
+    done = {}
+
+    def body():
+        yield from src_skv.databases[0].put_many(pairs)
+        n = yield from migrate_database(
+            remi,
+            src_skv.databases[0],
+            "dst",
+            3,
+            dst_skv.databases[0],
+            name="db0-migration",
+        )
+        done["n"] = n
+
+    src_mi.client_ult(body())
+    assert sim.run_until(lambda: "n" in done, limit=5.0)
+    assert done["n"] == 40
+    # Destination backend holds the exact data.
+    assert len(dst_skv.databases[0]) == 40
+    assert dst_skv.databases[0]._data["k005"] == b"v" * 6
+    # The REMI provider recorded the fileset (audit trail).
+    assert "db0-migration" in dst_remi.filesets
+    snap = dst_remi.filesets["db0-migration"].files["db.snapshot"]
+    assert len(snap) > 100
+
+
+def test_migration_cost_scales_with_content():
+    durations = {}
+    for n_pairs in (10, 500):
+        sim = Simulator()
+        fabric = Fabric(sim, FabricConfig())
+        src_mi = MargoInstance(sim, fabric, "src", "n0")
+        dst_mi = MargoInstance(sim, fabric, "dst", "n1")
+        src_skv = SdskvProvider(src_mi, provider_id=2)
+        dst_skv = SdskvProvider(dst_mi, provider_id=2)
+        RemiProvider(dst_mi, provider_id=3)
+        remi = RemiClient(src_mi)
+        done = {}
+
+        def body(n=n_pairs):
+            yield from src_skv.databases[0].put_many(
+                [(f"k{i}", b"x" * 100) for i in range(n)]
+            )
+            t0 = sim.now
+            yield from migrate_database(
+                remi, src_skv.databases[0], "dst", 3,
+                dst_skv.databases[0], name="m",
+            )
+            done["dt"] = sim.now - t0
+
+        src_mi.client_ult(body())
+        assert sim.run_until(lambda: "dt" in done, limit=10.0)
+        durations[n_pairs] = done["dt"]
+    assert durations[500] > 3 * durations[10]

@@ -1,0 +1,92 @@
+"""Tests for the REMI migration microservice."""
+
+import pytest
+
+from repro.services.remi import RemiClient, RemiFileset, RemiProvider
+from .conftest import make_service_world, run_ult
+
+
+def make_remi_world():
+    world = make_service_world()
+    world.target_provider = RemiProvider(world.server, provider_id=1)
+    world.source_provider = RemiProvider(world.client, provider_id=1)
+    world.remi = RemiClient(world.client, world.source_provider)
+    return world
+
+
+def sample_fileset(name="fs1", n_files=3, size=1024):
+    return RemiFileset(
+        name=name,
+        files={f"file{i}.dat": bytes([i]) * size for i in range(n_files)},
+    )
+
+
+def test_migrate_copies_files():
+    world = make_remi_world()
+    fs = sample_fileset()
+    world.source_provider.add_fileset(fs)
+
+    def body():
+        out = yield from world.remi.migrate("svr", 1, fs)
+        return out
+
+    out = run_ult(world, body())
+    assert out == {"ret": 0, "files": 3}
+    migrated = world.target_provider.filesets["fs1"]
+    assert migrated.files == fs.files
+    assert migrated is not fs  # deep install, not aliasing
+
+
+def test_migrate_remove_source():
+    world = make_remi_world()
+    fs = sample_fileset()
+    world.source_provider.add_fileset(fs)
+
+    def body():
+        out = yield from world.remi.migrate("svr", 1, fs, remove_source=True)
+        return out
+
+    run_ult(world, body())
+    assert "fs1" not in world.source_provider.filesets
+    assert "fs1" in world.target_provider.filesets
+
+
+def test_migrate_existing_fileset_rejected():
+    world = make_remi_world()
+    fs = sample_fileset()
+    world.target_provider.add_fileset(sample_fileset())
+
+    def body():
+        out = yield from world.remi.migrate("svr", 1, fs)
+        return out
+
+    out = run_ult(world, body())
+    assert out["ret"] == -1
+
+
+def test_duplicate_local_fileset_rejected():
+    world = make_remi_world()
+    world.source_provider.add_fileset(sample_fileset())
+    with pytest.raises(ValueError):
+        world.source_provider.add_fileset(sample_fileset())
+
+
+def test_migration_time_scales_with_size():
+    durations = {}
+    for size in (1_000, 2_000_000):
+        world = make_remi_world()
+        fs = sample_fileset(size=size)
+        world.source_provider.add_fileset(fs)
+
+        def body(f=fs):
+            t0 = world.sim.now
+            yield from world.remi.migrate("svr", 1, f)
+            return world.sim.now - t0
+
+        durations[size] = run_ult(world, body(), until=10.0)
+    assert durations[2_000_000] > 2 * durations[1_000]
+
+
+def test_fileset_total_bytes():
+    fs = sample_fileset(n_files=2, size=100)
+    assert fs.total_bytes == 200

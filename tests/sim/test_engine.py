@@ -1,0 +1,368 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    SimEvent,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_call_at_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.call_at(2.0, seen.append, "b")
+    sim.call_at(1.0, seen.append, "a")
+    sim.call_at(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_timestamp_fifo_order():
+    sim = Simulator()
+    seen = []
+    for tag in range(10):
+        sim.call_at(1.0, seen.append, tag)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_call_after_is_relative():
+    sim = Simulator()
+    out = []
+    sim.call_at(5.0, lambda: sim.call_after(2.5, lambda: out.append(sim.now)))
+    sim.run()
+    assert out == [7.5]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.call_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_run_until_stops_at_bound():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, seen.append, 1)
+    sim.call_at(10.0, seen.append, 10)
+    sim.run(until=5.0)
+    assert seen == [1]
+    assert sim.now == 5.0
+    # Remaining events still fire on a later run.
+    sim.run()
+    assert seen == [1, 10]
+
+
+def test_run_until_advances_time_even_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_max_events_bounds_processing():
+    sim = Simulator()
+    seen = []
+    for i in range(100):
+        sim.call_at(float(i), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_stop_simulation_halts_run():
+    sim = Simulator()
+    seen = []
+
+    def boom():
+        raise StopSimulation()
+
+    sim.call_at(1.0, seen.append, 1)
+    sim.call_at(2.0, boom)
+    sim.call_at(3.0, seen.append, 3)
+    sim.run()
+    assert seen == [1]
+    assert sim.now == 2.0
+
+
+def test_task_timeout_sequence():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(("start", sim.now))
+        yield Timeout(1.5)
+        trace.append(("mid", sim.now))
+        yield Timeout(0.5)
+        trace.append(("end", sim.now))
+        return "done"
+
+    task = sim.spawn(proc())
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 1.5), ("end", 2.0)]
+    assert task.finished
+    assert task.done.value == "done"
+
+
+def test_timeout_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_event_wait_and_succeed():
+    sim = Simulator()
+    ev = sim.event("gate")
+    results = []
+
+    def waiter(tag):
+        value = yield ev
+        results.append((tag, value, sim.now))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.call_at(3.0, ev.succeed, 99)
+    sim.run()
+    assert results == [("a", 99, 3.0), ("b", 99, 3.0)]
+
+
+def test_wait_on_already_fired_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+    out = []
+
+    def waiter():
+        out.append((yield ev))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert out == ["early"]
+
+
+def test_event_fires_only_once():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_value_before_fire_raises():
+    sim = Simulator()
+    ev = sim.event("pending")
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_event_fail_propagates_into_task():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.call_at(1.0, ev.fail, ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_task_unhandled_exception_aborts_by_default():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("die")
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError, match="die"):
+        sim.run()
+
+
+def test_task_error_recorded_when_swallowed():
+    sim = Simulator(swallow_task_errors=True)
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("die")
+
+    task = sim.spawn(bad())
+    sim.run()
+    assert task.finished
+    assert isinstance(task.done._exc, RuntimeError)
+
+
+def test_task_done_callback_receives_error():
+    sim = Simulator()
+    failures = []
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("die")
+
+    task = sim.spawn(bad())
+    task.done.add_callback(lambda ev: failures.append(ev._exc))
+    sim.run()
+    assert len(failures) == 1
+    assert isinstance(failures[0], RuntimeError)
+
+
+def test_yield_from_subroutine_composes():
+    sim = Simulator()
+    log = []
+
+    def inner(n):
+        yield Timeout(n)
+        return n * 2
+
+    def outer():
+        a = yield from inner(1)
+        b = yield from inner(2)
+        log.append((a, b, sim.now))
+
+    sim.spawn(outer())
+    sim.run()
+    assert log == [(2, 4, 3.0)]
+
+
+def test_yield_non_waitable_is_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_anyof_timeout_wins():
+    sim = Simulator()
+    ev = sim.event()
+    out = []
+
+    def waiter():
+        idx, value = yield AnyOf([ev, Timeout(2.0, "to")])
+        out.append((idx, value, sim.now))
+
+    sim.spawn(waiter())
+    sim.call_at(5.0, ev.succeed, "late")
+    sim.run()
+    assert out == [(1, "to", 2.0)]
+
+
+def test_anyof_event_wins():
+    sim = Simulator()
+    ev = sim.event()
+    out = []
+
+    def waiter():
+        idx, value = yield AnyOf([ev, Timeout(10.0)])
+        out.append((idx, value, sim.now))
+
+    sim.spawn(waiter())
+    sim.call_at(1.0, ev.succeed, "fast")
+    sim.run()
+    assert out == [(0, "fast", 1.0)]
+
+
+def test_anyof_requires_branches():
+    with pytest.raises(ValueError):
+        AnyOf([])
+
+
+def test_spawn_runs_at_current_instant_in_order():
+    sim = Simulator()
+    seen = []
+
+    def proc(tag):
+        seen.append((tag, sim.now))
+        yield Timeout(0.0)
+
+    sim.call_at(4.0, lambda: (sim.spawn(proc("x")), sim.spawn(proc("y"))))
+    sim.run()
+    assert seen == [("x", 4.0), ("y", 4.0)]
+
+
+def test_task_done_event_can_be_awaited():
+    sim = Simulator()
+    out = []
+
+    def child():
+        yield Timeout(3.0)
+        return "payload"
+
+    def parent():
+        t = sim.spawn(child())
+        value = yield t.done
+        out.append((value, sim.now))
+
+    sim.spawn(parent())
+    sim.run()
+    assert out == [("payload", 3.0)]
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def evil():
+        sim.run()
+
+    sim.call_at(0.0, evil)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_on_predicate():
+    sim = Simulator()
+    hits = []
+    for i in range(100):
+        sim.call_at(float(i), hits.append, i)
+    ok = sim.run_until(lambda: len(hits) >= 10, limit=1000.0, step=1.0)
+    assert ok
+    assert 10 <= len(hits) <= 12  # stops within a step of the predicate
+    assert sim.now < 15.0
+
+
+def test_run_until_respects_limit():
+    sim = Simulator()
+    ok = sim.run_until(lambda: False, limit=5.0, step=1.0)
+    assert not ok
+    assert sim.now == 5.0
+
+
+def test_run_until_validates_step():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.run_until(lambda: True, limit=1.0, step=0)
+
+
+def test_run_until_immediate_predicate():
+    sim = Simulator()
+    assert sim.run_until(lambda: True, limit=100.0)
+    assert sim.now == 0.0
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.call_at(7.0, lambda: None)
+    assert sim.peek() == 7.0

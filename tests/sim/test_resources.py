@@ -1,0 +1,274 @@
+"""Unit tests for kernel-level resources (Mutex, Semaphore, Store)."""
+
+import pytest
+
+from repro.sim import Mutex, Semaphore, SimulationError, Simulator, Store, Timeout
+
+
+# ---------------------------------------------------------------- Mutex
+
+
+def test_mutex_uncontended_acquire_release():
+    sim = Simulator()
+    m = Mutex(sim)
+    done = []
+
+    def proc():
+        yield from m.acquire()
+        assert m.locked
+        m.release()
+        done.append(True)
+
+    sim.spawn(proc())
+    sim.run()
+    assert done == [True]
+    assert not m.locked
+
+
+def test_mutex_serializes_critical_sections():
+    sim = Simulator()
+    m = Mutex(sim)
+    intervals = []
+
+    def proc(tag):
+        yield from m.acquire()
+        start = sim.now
+        yield Timeout(1.0)
+        m.release()
+        intervals.append((tag, start, sim.now))
+
+    for tag in range(3):
+        sim.spawn(proc(tag))
+    sim.run()
+    # FIFO handoff, back-to-back with no overlap.
+    assert intervals == [(0, 0.0, 1.0), (1, 1.0, 2.0), (2, 2.0, 3.0)]
+
+
+def test_mutex_fifo_fairness():
+    sim = Simulator()
+    m = Mutex(sim)
+    order = []
+
+    def holder():
+        yield from m.acquire()
+        yield Timeout(5.0)
+        m.release()
+
+    def waiter(tag, delay):
+        yield Timeout(delay)
+        yield from m.acquire()
+        order.append(tag)
+        m.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter("late", 2.0))
+    sim.spawn(waiter("early", 1.0))
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_mutex_release_unlocked_raises():
+    sim = Simulator()
+    m = Mutex(sim)
+    with pytest.raises(SimulationError):
+        m.release()
+
+
+def test_mutex_try_acquire():
+    sim = Simulator()
+    m = Mutex(sim)
+    assert m.try_acquire()
+    assert not m.try_acquire()
+    m.release()
+    assert m.try_acquire()
+
+
+def test_mutex_waiting_count():
+    sim = Simulator()
+    m = Mutex(sim)
+
+    def holder():
+        yield from m.acquire()
+        yield Timeout(10.0)
+        m.release()
+
+    def waiter():
+        yield from m.acquire()
+        m.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.spawn(waiter())
+    sim.run(until=5.0)
+    assert m.waiting == 2
+    sim.run()
+    assert m.waiting == 0
+
+
+# ---------------------------------------------------------------- Semaphore
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, 2)
+    active = {"n": 0, "max": 0}
+
+    def proc():
+        yield from sem.acquire()
+        active["n"] += 1
+        active["max"] = max(active["max"], active["n"])
+        yield Timeout(1.0)
+        active["n"] -= 1
+        sem.release()
+
+    for _ in range(6):
+        sim.spawn(proc())
+    sim.run()
+    assert active["max"] == 2
+    assert sim.now == 3.0  # 6 jobs, width 2, 1s each
+
+
+def test_semaphore_initial_value_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, -1)
+
+
+def test_semaphore_release_beyond_initial_value():
+    sim = Simulator()
+    sem = Semaphore(sim, 0)
+    sem.release()
+    assert sem.value == 1
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    st = Store(sim)
+    out = []
+
+    def consumer():
+        item = yield from st.get()
+        out.append(item)
+
+    st.put("x")
+    sim.spawn(consumer())
+    sim.run()
+    assert out == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    st = Store(sim)
+    out = []
+
+    def consumer():
+        item = yield from st.get()
+        out.append((item, sim.now))
+
+    sim.spawn(consumer())
+    sim.call_at(3.0, st.put, "late")
+    sim.run()
+    assert out == [("late", 3.0)]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    st = Store(sim)
+    for i in range(5):
+        st.put(i)
+    assert [st.get_nowait() for _ in range(5)] == [0, 1, 2, 3, 4]
+    assert st.get_nowait() is None
+
+
+def test_store_get_batch_nowait():
+    sim = Simulator()
+    st = Store(sim)
+    for i in range(10):
+        st.put(i)
+    assert st.get_batch_nowait(4) == [0, 1, 2, 3]
+    assert st.get_batch_nowait(100) == [4, 5, 6, 7, 8, 9]
+    assert st.get_batch_nowait(4) == []
+    assert st.get_batch_nowait(0) == []
+
+
+def test_store_wait_nonempty_immediate():
+    sim = Simulator()
+    st = Store(sim)
+    st.put("a")
+    out = []
+
+    def poller():
+        ok = yield from st.wait_nonempty()
+        out.append(ok)
+
+    sim.spawn(poller())
+    sim.run()
+    assert out == [True]
+    assert len(st) == 1  # wait_nonempty must not consume
+
+
+def test_store_wait_nonempty_wakes_on_put():
+    sim = Simulator()
+    st = Store(sim)
+    out = []
+
+    def poller():
+        ok = yield from st.wait_nonempty()
+        out.append((ok, sim.now, len(st)))
+
+    sim.spawn(poller())
+    sim.call_at(2.0, st.put, "item")
+    sim.run()
+    assert out == [(True, 2.0, 1)]
+
+
+def test_store_wait_nonempty_timeout():
+    sim = Simulator()
+    st = Store(sim)
+    out = []
+
+    def poller():
+        ok = yield from st.wait_nonempty(timeout=1.5)
+        out.append((ok, sim.now))
+
+    sim.spawn(poller())
+    sim.run()
+    assert out == [(False, 1.5)]
+
+
+def test_store_wait_nonempty_timeout_put_after():
+    """An item put after a timed-out wait is still retrievable."""
+    sim = Simulator()
+    st = Store(sim)
+    out = []
+
+    def poller():
+        ok = yield from st.wait_nonempty(timeout=1.0)
+        out.append(ok)
+        yield Timeout(5.0)
+        out.append(st.get_nowait())
+
+    sim.spawn(poller())
+    sim.call_at(3.0, st.put, "later")
+    sim.run()
+    assert out == [False, "later"]
+
+
+def test_store_waiting_getters_counter():
+    sim = Simulator()
+    st = Store(sim)
+
+    def consumer():
+        yield from st.get()
+
+    sim.spawn(consumer())
+    sim.spawn(consumer())
+    sim.run()
+    assert st.waiting_getters == 2
+    st.put(1)
+    st.put(2)
+    sim.run()
+    assert st.waiting_getters == 0

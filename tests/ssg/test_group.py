@@ -1,0 +1,116 @@
+"""Tests for SSG group membership."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ssg import SSGError, SSGGroup
+
+
+def test_create_with_members_assigns_ranks_in_order():
+    g = SSGGroup("svc", ["a", "b", "c"])
+    assert g.size == 3
+    assert g.rank_of("a") == 0
+    assert g.rank_of("c") == 2
+    assert g.address_of(1) == "b"
+    assert g.members == ["a", "b", "c"]
+
+
+def test_group_ids_unique():
+    assert SSGGroup("x").group_id != SSGGroup("x").group_id
+
+
+def test_join_returns_rank():
+    g = SSGGroup("svc")
+    assert g.join("a") == 0
+    assert g.join("b") == 1
+    assert "a" in g and "z" not in g
+
+
+def test_duplicate_join_rejected():
+    g = SSGGroup("svc", ["a"])
+    with pytest.raises(SSGError):
+        g.join("a")
+
+
+def test_leave_compacts_ranks():
+    g = SSGGroup("svc", ["a", "b", "c"])
+    g.leave("b")
+    assert g.members == ["a", "c"]
+    assert g.rank_of("c") == 1
+
+
+def test_leave_unknown_rejected():
+    g = SSGGroup("svc", ["a"])
+    with pytest.raises(SSGError):
+        g.leave("z")
+
+
+def test_lookup_errors():
+    g = SSGGroup("svc", ["a"])
+    with pytest.raises(SSGError):
+        g.rank_of("z")
+    with pytest.raises(SSGError):
+        g.address_of(5)
+    with pytest.raises(SSGError):
+        g.address_of(-1)
+
+
+def test_member_for_key_is_stable_and_in_group():
+    g = SSGGroup("svc", [f"m{i}" for i in range(5)])
+    picks = {g.member_for_key(f"key{i}") for i in range(100)}
+    assert picks <= set(g.members)
+    assert len(picks) > 1  # keys spread over members
+    assert g.member_for_key("key1") == g.member_for_key("key1")
+
+
+def test_member_for_key_empty_group():
+    with pytest.raises(SSGError):
+        SSGGroup("svc").member_for_key("k")
+
+
+def test_observers_notified_on_changes():
+    g = SSGGroup("svc")
+    log = []
+    g.observe(lambda change, addr, rank: log.append((change, addr, rank)))
+    g.join("a")
+    g.join("b")
+    g.leave("a")
+    assert log == [("join", "a", 0), ("join", "b", 1), ("leave", "a", 0)]
+
+
+def test_hepnos_service_exposes_group():
+    from repro.net import Fabric, FabricConfig
+    from repro.services.hepnos import HEPnOSService
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    service = HEPnOSService.deploy(
+        sim, fabric, n_servers=3, servers_per_node=1,
+        n_handler_es=1, n_databases=1,
+    )
+    assert service.group.size == 3
+    assert service.group.members == ["hepnos0", "hepnos1", "hepnos2"]
+    assert service.group.rank_of("hepnos2") == 2
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=12,
+                unique=True))
+def test_property_rank_address_roundtrip(addrs):
+    g = SSGGroup("p", addrs)
+    for rank, addr in enumerate(addrs):
+        assert g.rank_of(addr) == rank
+        assert g.address_of(rank) == addr
+
+
+@given(
+    st.lists(st.text(min_size=1, max_size=8), min_size=2, max_size=12,
+             unique=True),
+    st.data(),
+)
+def test_property_leave_preserves_relative_order(addrs, data):
+    g = SSGGroup("p", addrs)
+    victim = data.draw(st.sampled_from(addrs))
+    g.leave(victim)
+    expected = [a for a in addrs if a != victim]
+    assert g.members == expected

@@ -1,0 +1,100 @@
+"""Tests for profile/trace export (CSV and JSON round-trips)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.symbiosys import Stage
+from repro.symbiosys.analysis import stitch_traces, trace_summary
+from repro.symbiosys.export import (
+    events_to_json,
+    load_events_json,
+    profile_to_rows,
+    write_profile_csv,
+)
+from .conftest import drive_requests, make_instrumented_world
+
+
+def run_world(n=2):
+    world = make_instrumented_world(Stage.FULL)
+    results = drive_requests(world, n)
+    world.sim.run(until=1.0)
+    assert len(results) == n
+    return world
+
+
+def test_profile_rows_cover_all_keys_and_intervals():
+    world = run_world()
+    store = world.collector.merged_origin_profile()
+    rows = profile_to_rows(store, world.collector.registry)
+    assert rows
+    expected = sum(len(store.intervals_for(k)) for k in store.keys())
+    assert len(rows) == expected
+    for row in rows:
+        assert row["callpath"].startswith("0x")
+        assert row["count"] >= 1
+        assert row["min"] <= row["mean"] <= row["max"]
+
+
+def test_profile_rows_sorted_by_total_desc():
+    world = run_world()
+    rows = profile_to_rows(world.collector.merged_origin_profile())
+    totals = [r["total"] for r in rows]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_profile_rows_decode_names_with_registry():
+    world = run_world()
+    rows = profile_to_rows(
+        world.collector.merged_origin_profile(), world.collector.registry
+    )
+    names = {r["callpath_name"] for r in rows}
+    assert "front_op" in names
+    assert "front_op -> leaf_op" in names
+
+
+def test_csv_output_parses(tmp_path):
+    world = run_world()
+    path = tmp_path / "profile.csv"
+    text = write_profile_csv(
+        world.collector.merged_origin_profile(),
+        world.collector.registry,
+        path=str(path),
+    )
+    assert path.read_text() == text
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert parsed
+    assert float(parsed[0]["total"]) > 0
+
+
+def test_events_json_roundtrip(tmp_path):
+    world = run_world()
+    events = world.collector.all_events()
+    path = tmp_path / "trace.json"
+    doc = events_to_json(events, path=str(path), indent=2)
+    assert json.loads(path.read_text()) == json.loads(doc)
+    restored = load_events_json(doc)
+    assert len(restored) == len(events)
+    for a, b in zip(events, restored):
+        assert a.kind is b.kind
+        assert a.request_id == b.request_id
+        assert a.local_ts == b.local_ts
+        assert a.pvars == b.pvars
+        assert a.sysstats == b.sysstats
+
+
+def test_restored_events_stitch_identically():
+    """Offline stitching of exported traces matches in-process results."""
+    world = run_world()
+    events = world.collector.all_events()
+    live = trace_summary(world.collector)
+    offline = stitch_traces(load_events_json(events_to_json(events)))
+    assert set(live.requests) == set(offline.requests)
+    for rid, req in live.requests.items():
+        other = offline.requests[rid]
+        assert len(req.spans) == len(other.spans)
+        for sid, span in req.spans.items():
+            assert abs(span.t1 - other.spans[sid].t1) < 1e-12
+            assert span.rpc_name == other.spans[sid].rpc_name

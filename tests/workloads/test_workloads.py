@@ -1,0 +1,155 @@
+"""Tests for the workload generators (ior, synthetic files, JSON records)."""
+
+import pytest
+
+from repro.workloads import (
+    IorClient,
+    IorConfig,
+    flatten_to_pairs,
+    generate_event_files,
+    generate_json_records,
+    run_ior_clients,
+)
+
+
+# ------------------------------------------------------------ ior
+
+
+def test_ior_config_validation():
+    with pytest.raises(ValueError):
+        IorConfig(objects_per_client=0)
+    with pytest.raises(ValueError):
+        IorConfig(transfer_size=0)
+    with pytest.raises(ValueError):
+        IorConfig(read_iterations=-1)
+
+
+def test_ior_object_ids_unique_per_rank():
+    from repro.margo import MargoInstance
+    from repro.net import Fabric, FabricConfig
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    clients = [
+        IorClient(
+            MargoInstance(sim, fabric, f"c{r}", "n0"),
+            "target",
+            r,
+            IorConfig(objects_per_client=3),
+        )
+        for r in range(2)
+    ]
+    ids = {
+        c._object_id(i) for c in clients for i in range(3)
+    }
+    assert len(ids) == 6
+
+
+def test_ior_end_to_end_verifies_data():
+    from repro.margo import MargoInstance
+    from repro.net import Fabric, FabricConfig
+    from repro.services.mobject import MobjectProviderNode
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    MobjectProviderNode(sim, fabric, "mobj", "n0", n_handler_es=4)
+    clients = [
+        IorClient(
+            MargoInstance(sim, fabric, f"ior{r}", "n0"),
+            "mobj",
+            r,
+            IorConfig(objects_per_client=2, transfer_size=2048,
+                      read_iterations=2),
+        )
+        for r in range(3)
+    ]
+    run_ior_clients(clients)
+    assert sim.run_until(
+        lambda: all(c.finished_at is not None for c in clients), limit=10.0
+    )
+    for c in clients:
+        assert c.write_errors == 0
+        assert c.read_mismatches == 0
+
+
+def test_ior_rank_data_is_deterministic_per_seed():
+    from repro.margo import MargoInstance
+    from repro.net import Fabric, FabricConfig
+    from repro.sim import Simulator
+
+    def data_for(seed):
+        sim = Simulator()
+        fabric = Fabric(sim, FabricConfig())
+        c = IorClient(
+            MargoInstance(sim, fabric, "c", "n0"), "t", 0,
+            IorConfig(transfer_size=64), seed=seed,
+        )
+        return c._rng.integers(0, 256, size=16, dtype="uint8").tobytes()
+
+    assert data_for(1) == data_for(1)
+    assert data_for(1) != data_for(2)
+
+
+# ------------------------------------------------------------ synthetic files
+
+
+def test_event_files_keys_are_well_formed():
+    from repro.services.hepnos import parse_event_key
+
+    files = generate_event_files(n_files=2, events_per_file=20,
+                                 subruns_per_file=4)
+    for f in files:
+        for key, payload in f.to_pairs():
+            parsed = parse_event_key(key)
+            assert parsed.dataset == f.dataset
+            assert parsed.run == f.run
+            assert 0 <= parsed.subrun < 4
+
+
+def test_subruns_partition_events_in_order():
+    (f,) = generate_event_files(n_files=1, events_per_file=16,
+                                subruns_per_file=4)
+    subruns = [subrun for subrun, _, _ in f.events]
+    assert subruns == sorted(subruns)
+    assert set(subruns) == {0, 1, 2, 3}
+
+
+def test_flatten_preserves_order_and_count():
+    files = generate_event_files(n_files=3, events_per_file=8)
+    pairs = flatten_to_pairs(files)
+    assert len(pairs) == 24
+    keys = [k for k, _ in pairs]
+    assert keys == sorted(keys)  # file order == run order == key order
+
+
+def test_event_sizes_lognormal_spread():
+    (f,) = generate_event_files(n_files=1, events_per_file=200,
+                                mean_event_bytes=1024)
+    sizes = [len(p) for _, _, p in f.events]
+    mean = sum(sizes) / len(sizes)
+    assert 700 < mean < 1500
+    assert min(sizes) >= 16
+    assert max(sizes) > 1.5 * min(sizes)  # genuinely variable
+
+
+# ------------------------------------------------------------ JSON records
+
+
+def test_json_records_shape_and_determinism():
+    a = generate_json_records(50, fields_per_record=3, seed=5)
+    b = generate_json_records(50, fields_per_record=3, seed=5)
+    assert a == b
+    assert len(a) == 50
+    for i, rec in enumerate(a):
+        assert rec["id"] == i
+        assert {"tag", "score", "field0", "field1", "field2"} <= set(rec)
+
+
+def test_json_records_validation():
+    with pytest.raises(ValueError):
+        generate_json_records(-1)
+    with pytest.raises(ValueError):
+        generate_json_records(5, fields_per_record=-1)
+    assert generate_json_records(0) == []
