@@ -14,90 +14,80 @@ Run:  python examples/quickstart.py
 """
 
 import repro.argobots as abt
-from repro.margo import MargoConfig, MargoInstance
-from repro.net import Fabric, FabricConfig
-from repro.sim import Simulator
-from repro.symbiosys import Stage, SymbiosysCollector
+from repro.cluster import Cluster
+from repro.symbiosys import Stage
 from repro.symbiosys.analysis import profile_summary, trace_summary
 
 
 def main() -> None:
-    # -- 1. the simulated world ------------------------------------------
-    sim = Simulator()
-    fabric = Fabric(sim, FabricConfig())
-    collector = SymbiosysCollector(Stage.FULL)
+    # -- 1. the simulated world: one Cluster bundles the simulator, the
+    # fabric, and a SYMBIOSYS collector at full support ---------------------
+    with Cluster(seed=0, stage=Stage.FULL) as cluster:
+        # -- 2. a composed service: front API -> KV leaf ----------------------
+        kv_server = cluster.process("kv", "node1", n_handler_es=2)
+        kv_store: dict = {}
 
-    def make_process(addr, node, **cfg):
-        return MargoInstance(
-            sim,
-            fabric,
-            addr,
-            node,
-            config=MargoConfig(**cfg),
-            instrumentation=collector.create_instrumentation(),
-        )
+        def kv_put(mi, handle):
+            inp = yield from mi.get_input(handle)
+            yield abt.Compute(2e-6)  # backend insert work
+            kv_store[inp["key"]] = inp["value"]
+            yield from mi.respond(handle, {"ret": 0})
 
-    # -- 2. a composed service: front API -> KV leaf ----------------------
-    kv_server = make_process("kv", "node1", n_handler_es=2)
-    kv_store: dict = {}
+        def kv_get(mi, handle):
+            inp = yield from mi.get_input(handle)
+            yield abt.Compute(1e-6)
+            yield from mi.respond(handle, {"value": kv_store.get(inp["key"])})
 
-    def kv_put(mi, handle):
-        inp = yield from mi.get_input(handle)
-        yield abt.Compute(2e-6)  # backend insert work
-        kv_store[inp["key"]] = inp["value"]
-        yield from mi.respond(handle, {"ret": 0})
+        kv_server.register("kv_put_rpc", kv_put)
+        kv_server.register("kv_get_rpc", kv_get)
 
-    def kv_get(mi, handle):
-        inp = yield from mi.get_input(handle)
-        yield abt.Compute(1e-6)
-        yield from mi.respond(handle, {"value": kv_store.get(inp["key"])})
+        front = cluster.process("front", "node0", n_handler_es=2)
+        front.register("kv_put_rpc")
+        front.register("kv_get_rpc")
 
-    kv_server.register("kv_put_rpc", kv_put)
-    kv_server.register("kv_get_rpc", kv_get)
+        def api_store(mi, handle):
+            """The composed op: one API call = two downstream RPCs."""
+            inp = yield from mi.get_input(handle)
+            yield from mi.forward("kv", "kv_put_rpc", {"key": inp["key"], "value": inp["value"]})
+            check = yield from mi.forward("kv", "kv_get_rpc", {"key": inp["key"]})
+            yield from mi.respond(handle, {"stored": check["value"] == inp["value"]})
 
-    front = make_process("front", "node0", n_handler_es=2)
-    front.register("kv_put_rpc")
-    front.register("kv_get_rpc")
+        front.register("api_store_op", api_store)
 
-    def api_store(mi, handle):
-        """The composed op: one API call = two downstream RPCs."""
-        inp = yield from mi.get_input(handle)
-        yield from mi.forward("kv", "kv_put_rpc", {"key": inp["key"], "value": inp["value"]})
-        check = yield from mi.forward("kv", "kv_get_rpc", {"key": inp["key"]})
-        yield from mi.respond(handle, {"stored": check["value"] == inp["value"]})
+        # -- 3./4. an instrumented client workload ----------------------------
+        client = cluster.process("cli", "node2")
+        client.register("api_store_op")
+        results = []
 
-    front.register("api_store_op", api_store)
+        def workload():
+            for i in range(8):
+                out = yield from client.forward(
+                    "front", "api_store_op", {"key": f"k{i}", "value": i * i}
+                )
+                results.append(out["stored"])
 
-    # -- 3./4. an instrumented client workload ----------------------------
-    client = make_process("cli", "node2")
-    client.register("api_store_op")
-    results = []
+        client.client_ult(workload(), name="quickstart")
+        assert cluster.run_until(lambda: len(results) == 8, limit=1.0)
+        assert all(results), "service misbehaved"
+        print(f"workload done at t={cluster.sim.now * 1e3:.3f} ms; all 8 ops verified\n")
 
-    def workload():
-        for i in range(8):
-            out = yield from client.forward(
-                "front", "api_store_op", {"key": f"k{i}", "value": i * i}
-            )
-            results.append(out["stored"])
+        # -- 5. analysis -------------------------------------------------------
+        print("=== Distributed callpath profile (dominant callpaths) ===")
+        print(profile_summary(cluster.collector).render(top_n=5))
 
-    client.client_ult(workload(), name="quickstart")
-    assert sim.run_until(lambda: len(results) == 8, limit=1.0)
-    assert all(results), "service misbehaved"
-    print(f"workload done at t={sim.now * 1e3:.3f} ms; all 8 ops verified\n")
+        print("\n=== Per-request structure (one stitched trace) ===")
+        traces = trace_summary(cluster.collector)
+        request = next(iter(traces.requests.values()))
+        root = request.roots[0]
+        print(f"request {request.request_id}: {root.rpc_name} "
+              f"({root.duration * 1e6:.1f} us end to end)")
+        for child in root.children:
+            print(f"   -> {child.rpc_name} on {child.target_process} "
+                  f"({child.duration * 1e6:.1f} us)")
 
-    # -- 5. analysis -------------------------------------------------------
-    print("=== Distributed callpath profile (dominant callpaths) ===")
-    print(profile_summary(collector).render(top_n=5))
-
-    print("\n=== Per-request structure (one stitched trace) ===")
-    traces = trace_summary(collector)
-    request = next(iter(traces.requests.values()))
-    root = request.roots[0]
-    print(f"request {request.request_id}: {root.rpc_name} "
-          f"({root.duration * 1e6:.1f} us end to end)")
-    for child in root.children:
-        print(f"   -> {child.rpc_name} on {child.target_process} "
-              f"({child.duration * 1e6:.1f} us)")
+    # Leaving the with-block finalized every process and drained the
+    # event queue; nothing is left pending.
+    assert cluster.leaked_events == 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,223 @@
+"""One-stop construction of a simulated Mochi cluster.
+
+Every experiment used to assemble the same boilerplate by hand: a
+:class:`~repro.sim.Simulator`, a :class:`~repro.net.Fabric`, a
+:class:`~repro.symbiosys.SymbiosysCollector`, and one
+:class:`~repro.margo.MargoInstance` per process, each wired to a fresh
+instrumentation object.  :class:`Cluster` bundles that into a single
+builder with a context-manager lifecycle::
+
+    with Cluster(seed=42, stage=Stage.FULL) as cluster:
+        server = cluster.process("server", "node1", n_handler_es=2)
+        client = cluster.process("cli", "node0")
+        ...
+        cluster.run_until(lambda: done, limit=1.0)
+        print(profile_summary(cluster.collector).render())
+
+On exit every process is finalized and the event queue drained, so a
+cluster tears down without leaking pending simulator events
+(:attr:`leaked_events` reports any that survived the drain).
+
+The old construction paths keep working -- ``Cluster`` only composes the
+public constructors; nothing below depends on it.
+
+Faults: pass a :class:`~repro.faults.FaultPlan` and the cluster creates a
+:class:`~repro.faults.FaultInjector` seeded from the cluster's
+:class:`~repro.sim.RngRegistry`, installs it on the fabric, and attaches
+it to every process -- the whole campaign replays identically from
+``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .faults import FaultInjector, FaultPlan
+from .margo import Instrumentation, MargoConfig, MargoInstance, RetryPolicy
+from .mercury import HGConfig, SerializationModel
+from .net import Fabric, FabricConfig
+from .sim import LocalClock, RngRegistry, Simulator
+from .symbiosys import Stage, SymbiosysCollector
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated Mochi deployment: simulator + fabric + processes +
+    instrumentation, built through one object.
+
+    ``preset`` is duck-typed: anything with ``serialization``, ``fabric``,
+    ``ctx_switch_cost`` attributes and an ``hg_config()`` method works
+    (see :class:`repro.experiments.presets.Preset`).  Explicit keyword
+    arguments override the preset's values.
+
+    ``stage`` selects the SYMBIOSYS support level for the bundled
+    collector; ``None`` disables instrumentation entirely (the Baseline).
+    ``instrumentation_factory`` overrides the collector wiring with any
+    callable returning an :class:`~repro.margo.Instrumentation` per
+    process.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        stage: Optional[Stage] = Stage.FULL,
+        preset: Any = None,
+        fabric_config: Optional[FabricConfig] = None,
+        hg_config: Optional[HGConfig] = None,
+        serialization: Optional[SerializationModel] = None,
+        ctx_switch_cost: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        instrumentation_factory: Optional[Callable[[], Instrumentation]] = None,
+    ):
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+
+        if fabric_config is None and preset is not None:
+            fabric_config = preset.fabric
+        if hg_config is None and preset is not None:
+            hg_config = preset.hg_config()
+        if serialization is None and preset is not None:
+            serialization = preset.serialization
+        if ctx_switch_cost is None:
+            ctx_switch_cost = (
+                preset.ctx_switch_cost if preset is not None else 50e-9
+            )
+
+        self.fabric = Fabric(
+            self.sim, fabric_config, rng=self.rng.stream("fabric")
+        )
+        self._hg_config = hg_config
+        self._serialization = serialization
+        self._ctx_switch_cost = ctx_switch_cost
+        #: Cluster-wide default retry policy for new processes.
+        self.retry = retry
+
+        self.collector: Optional[SymbiosysCollector] = (
+            SymbiosysCollector(stage) if stage is not None else None
+        )
+        self._instr_factory = instrumentation_factory
+
+        self.injector: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            self.injector = FaultInjector(
+                self.sim, fault_plan, rng=self.rng.fork("faults")
+            ).install(self.fabric)
+
+        self.processes: dict[str, MargoInstance] = {}
+        #: Pending simulator events that survived the shutdown drain
+        #: (0 after a clean teardown).
+        self.leaked_events = 0
+        self._shutdown_done = False
+
+    # -- building -----------------------------------------------------------
+
+    def process(
+        self,
+        addr: str,
+        node: Optional[str] = None,
+        *,
+        config: Optional[MargoConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Optional[LocalClock] = None,
+        instrumentation: Optional[Instrumentation] = None,
+        **config_kw: Any,
+    ) -> MargoInstance:
+        """Create one Mochi process on ``node`` (default: its own node).
+
+        ``config_kw`` are :class:`~repro.margo.MargoConfig` fields
+        (``n_handler_es=2``, ``use_progress_thread=True``, ...) for the
+        common case; pass ``config`` explicitly for full control.
+        """
+        if addr in self.processes:
+            raise ValueError(f"duplicate process address {addr!r}")
+        if config is not None and config_kw:
+            raise ValueError("pass either config or config keywords, not both")
+        if config is None and config_kw:
+            config = MargoConfig(**config_kw)
+        if instrumentation is None:
+            if self._instr_factory is not None:
+                instrumentation = self._instr_factory()
+            elif self.collector is not None:
+                instrumentation = self.collector.create_instrumentation()
+        mi = MargoInstance(
+            self.sim,
+            self.fabric,
+            addr,
+            node if node is not None else f"node-{addr}",
+            config=config,
+            hg_config=self._hg_config,
+            serialization=self._serialization,
+            clock=clock,
+            instrumentation=instrumentation,
+            retry=retry if retry is not None else self.retry,
+            rng=self.rng.stream(f"margo.{addr}"),
+            ctx_switch_cost=self._ctx_switch_cost,
+        )
+        if self.injector is not None:
+            self.injector.attach(mi)
+        self.processes[addr] = mi
+        return mi
+
+    def __getitem__(self, addr: str) -> MargoInstance:
+        return self.processes[addr]
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_until(
+        self, predicate: Callable[[], bool], limit: float, step: float = 5e-3
+    ) -> bool:
+        return self.sim.run_until(predicate, limit, step=step)
+
+    # -- reporting ----------------------------------------------------------
+
+    def resilience_report(self) -> dict[str, dict[str, int]]:
+        """Per-process degraded-mode gauges, keyed by address."""
+        return {
+            addr: mi.resilience_counters()
+            for addr, mi in self.processes.items()
+        }
+
+    def fault_events(self) -> list[tuple]:
+        """The injector's deterministic fault-event trace (empty without
+        a fault plan)."""
+        return self.injector.event_trace() if self.injector is not None else []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Finalize every process and drain the event queue.
+
+        Idempotent.  After a drain, :attr:`leaked_events` holds the number
+        of events still pending (0 for a clean teardown).
+        """
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
+        if self.injector is not None:
+            # A scheduled restart must not revive a finalized process.
+            self.injector.disarm()
+        for mi in self.processes.values():
+            mi.finalize()
+        if drain:
+            self.sim.run()
+        self.leaked_events = self.sim.pending_events
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.shutdown()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(processes={len(self.processes)}, now={self.sim.now}, "
+            f"faults={'on' if self.injector is not None else 'off'})"
+        )

@@ -1,6 +1,12 @@
 """Experiment harnesses reproducing the paper's tables and figures."""
 
 from .configs import HEPnOSConfig, TABLE_IV, table_iv_rows
+from .faults import (
+    FaultCampaignResult,
+    default_fault_plan,
+    default_retry_policy,
+    run_fault_campaign,
+)
 from .hepnos import (
     HEPnOSExperimentResult,
     PUT_PACKED,
@@ -20,6 +26,7 @@ from .sonata import SonataExperimentResult, run_sonata_experiment
 __all__ = [
     "AnalysisTimings",
     "FAST_TEST",
+    "FaultCampaignResult",
     "HEPnOSConfig",
     "HEPnOSExperimentResult",
     "MobjectExperimentResult",
@@ -30,7 +37,10 @@ __all__ = [
     "TABLE_IV",
     "THETA_KNL",
     "ascii_table",
+    "default_fault_plan",
+    "default_retry_policy",
     "format_seconds",
+    "run_fault_campaign",
     "run_hepnos_experiment",
     "run_mobject_experiment",
     "run_overhead_study",

@@ -21,6 +21,7 @@ import time
 import numpy as np
 
 from .configs import TABLE_IV, table_iv_rows
+from .faults import run_fault_campaign
 from .hepnos import run_hepnos_experiment
 from .mobject import run_mobject_experiment
 from .overhead import run_overhead_study, time_analysis_scripts
@@ -123,6 +124,12 @@ def _fig13(args) -> None:
     print(ascii_table(study.rows()))
 
 
+def _faults(args) -> None:
+    result = run_fault_campaign(seed=args.seed)
+    print("Fault campaign: Sonata under injected faults")
+    print(result.report())
+
+
 def _table4(args) -> None:
     print("Table IV: HEPnOS service configurations")
     print(ascii_table(table_iv_rows()))
@@ -146,6 +153,7 @@ TARGETS = {
     "fig13": _fig13,
     "table4": _table4,
     "table5": _table5,
+    "faults": _faults,
 }
 
 
@@ -162,6 +170,8 @@ def main(argv=None) -> int:
                         help="events per client for HEPnOS runs")
     parser.add_argument("--reps", type=int, default=5,
                         help="repetitions for the overhead study")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the fault campaign")
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:

@@ -1,0 +1,232 @@
+"""Fault-campaign experiment: a Sonata workload under injected faults.
+
+SYMBIOSYS studies how composed services *perform*; this harness studies
+how they *degrade*.  It runs the Figure 7 Sonata ``store_multi_json``
+workload twice from one seed -- once fault-free, once under a
+:class:`~repro.faults.FaultPlan` (message loss, latency spikes,
+duplicates, a server crash/restart, handler faults) with a client-side
+:class:`~repro.margo.RetryPolicy` -- and reports goodput and latency
+degradation next to the resilience gauges and the fault-event timeline.
+
+Everything is deterministic: ``run_fault_campaign(seed=S).report()`` is
+byte-identical across runs for the same ``S``.  The report deliberately
+contains no request ids, cookies, or span ids (those come from
+process-global counters and differ between runs in one interpreter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster import Cluster
+from ..faults import (
+    DelayRule,
+    DropRule,
+    DuplicateRule,
+    FaultPlan,
+    HandlerFaultRule,
+    RestartFault,
+)
+from ..margo import MargoError, RetryPolicy
+from ..services.sonata import RPC_STORE_MULTI, SonataClient, SonataProvider
+from ..symbiosys import Stage
+from ..workloads import generate_json_records
+
+__all__ = [
+    "FaultCampaignResult",
+    "default_fault_plan",
+    "default_retry_policy",
+    "run_fault_campaign",
+]
+
+_SERVER = "sonata-svr"
+_CLIENT = "sonata-cli"
+_PROVIDER_ID = 1
+
+
+def default_fault_plan(server: str = _SERVER) -> FaultPlan:
+    """The canonical campaign: lossy/noisy wire toward the server, one
+    crash with a slow restart, and occasional handler faults."""
+    return FaultPlan(
+        name="sonata-default-campaign",
+        wire_rules=[
+            DropRule(dst=server, kind="rpc_request", probability=0.10),
+            DuplicateRule(dst=server, probability=0.05),
+            DelayRule(dst=server, extra=100e-6, spread=100e-6, probability=0.15),
+        ],
+        process_faults=[
+            RestartFault(addr=server, at=0.8e-3, downtime=0.4e-3, warmup=0.1e-3),
+        ],
+        handler_rules=[
+            HandlerFaultRule(
+                rpc=RPC_STORE_MULTI,
+                error_probability=0.04,
+                stall_probability=0.10,
+                stall=150e-6,
+            ),
+        ],
+    )
+
+
+def default_retry_policy() -> RetryPolicy:
+    """Client policy sized to ride out the default campaign's restart."""
+    return RetryPolicy(
+        max_attempts=5,
+        timeout=0.5e-3,
+        backoff=0.1e-3,
+        backoff_factor=2.0,
+        max_backoff=1e-3,
+        jitter=0.25,
+    )
+
+
+@dataclass
+class FaultCampaignResult:
+    """Baseline vs faulted run of one seeded Sonata campaign."""
+
+    seed: int
+    plan_name: str
+    n_records: int
+    batch_size: int
+    baseline_makespan: float
+    faulted_makespan: float
+    batches_ok: int
+    batches_failed: int
+    #: Per-process degraded-mode gauges of the faulted run.
+    resilience: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: The injector's deterministic fault timeline.
+    fault_events: list[tuple] = field(default_factory=list)
+
+    @property
+    def records_stored(self) -> int:
+        return self.batches_ok * self.batch_size
+
+    @property
+    def baseline_goodput(self) -> float:
+        return self.n_records / self.baseline_makespan
+
+    @property
+    def faulted_goodput(self) -> float:
+        if self.faulted_makespan <= 0:
+            return 0.0
+        return self.records_stored / self.faulted_makespan
+
+    @property
+    def goodput_degradation(self) -> float:
+        """Fraction of baseline goodput lost to the campaign."""
+        if self.baseline_goodput <= 0:
+            return 0.0
+        return 1.0 - self.faulted_goodput / self.baseline_goodput
+
+    def merged_resilience(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for counters in self.resilience.values():
+            for name, value in counters.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def report(self) -> str:
+        """Deterministic plain-text report (byte-identical per seed)."""
+        lines = [
+            f"fault campaign {self.plan_name!r} (seed={self.seed})",
+            f"  workload: {self.n_records} records in batches of {self.batch_size}",
+            f"  baseline: makespan {self.baseline_makespan * 1e3:.6f} ms, "
+            f"goodput {self.baseline_goodput:.3f} records/s",
+            f"  faulted:  makespan {self.faulted_makespan * 1e3:.6f} ms, "
+            f"goodput {self.faulted_goodput:.3f} records/s",
+            f"  degradation: {100 * self.goodput_degradation:.2f}% goodput, "
+            f"{self.batches_failed} of {self.batches_ok + self.batches_failed} "
+            f"batches lost",
+            "  resilience gauges:",
+        ]
+        for name, value in sorted(self.merged_resilience().items()):
+            lines.append(f"    {name:<32} {value:>8}")
+        lines.append(f"  fault events ({len(self.fault_events)}):")
+        for ev in self.fault_events:
+            t, kind, *detail = ev
+            detail_s = " ".join(str(d) for d in detail)
+            lines.append(f"    {t * 1e3:12.6f} ms  {kind:<16} {detail_s}")
+        return "\n".join(lines)
+
+
+def _run_workload(
+    *,
+    seed: int,
+    n_records: int,
+    batch_size: int,
+    stage: Stage,
+    plan: Optional[FaultPlan],
+    retry: Optional[RetryPolicy],
+    time_limit: float,
+) -> tuple[Cluster, float, int, int]:
+    """One Sonata run; returns (cluster, makespan, ok, failed) batches."""
+    with Cluster(seed=seed, stage=stage, fault_plan=plan, retry=retry) as cluster:
+        server = cluster.process(_SERVER, "nodeA", n_handler_es=2)
+        SonataProvider(server, _PROVIDER_ID)
+        client_mi = cluster.process(_CLIENT, "nodeB")
+        client = SonataClient(client_mi)
+        records = generate_json_records(n_records, fields_per_record=6)
+        outcome = {"ok": 0, "failed": 0}
+        done = {}
+
+        def body():
+            yield from client.create_database(_SERVER, _PROVIDER_ID, "bench")
+            for start in range(0, n_records, batch_size):
+                batch = records[start : start + batch_size]
+                try:
+                    yield from client.store_multi(
+                        _SERVER, _PROVIDER_ID, "bench", batch,
+                        batch_size=len(batch),
+                    )
+                    outcome["ok"] += 1
+                except MargoError:
+                    # Retries exhausted or the handler kept failing: the
+                    # batch is lost, the workload moves on.
+                    outcome["failed"] += 1
+            done["at"] = cluster.sim.now
+
+        client_mi.client_ult(body(), name="fault-campaign")
+        if not cluster.run_until(lambda: "at" in done, limit=time_limit):
+            raise RuntimeError("fault campaign did not finish in time")
+        makespan = done["at"]
+    return cluster, makespan, outcome["ok"], outcome["failed"]
+
+
+def run_fault_campaign(
+    *,
+    seed: int = 0,
+    n_records: int = 2_000,
+    batch_size: int = 200,
+    stage: Stage = Stage.FULL,
+    plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    time_limit: float = 600.0,
+) -> FaultCampaignResult:
+    """Run the Sonata workload fault-free and under ``plan``; compare."""
+    plan = plan if plan is not None else default_fault_plan()
+    retry = retry if retry is not None else default_retry_policy()
+
+    _, base_makespan, base_ok, base_failed = _run_workload(
+        seed=seed, n_records=n_records, batch_size=batch_size, stage=stage,
+        plan=None, retry=None, time_limit=time_limit,
+    )
+    if base_failed:
+        raise RuntimeError("baseline run lost batches without faults")
+
+    faulted, makespan, ok, failed = _run_workload(
+        seed=seed, n_records=n_records, batch_size=batch_size, stage=stage,
+        plan=plan, retry=retry, time_limit=time_limit,
+    )
+    return FaultCampaignResult(
+        seed=seed,
+        plan_name=plan.name,
+        n_records=n_records,
+        batch_size=batch_size,
+        baseline_makespan=base_makespan,
+        faulted_makespan=makespan,
+        batches_ok=ok,
+        batches_failed=failed,
+        resilience=faulted.resilience_report(),
+        fault_events=faulted.fault_events(),
+    )

@@ -17,7 +17,7 @@ from ..margo import MargoConfig, MargoInstance
 from ..net import Fabric
 from ..services.hepnos import DataLoader, DataLoaderConfig, HEPnOSService
 from ..sim import Simulator
-from ..symbiosys import Stage, SymbiosysCollector, push
+from ..symbiosys import Stage, SymbiosysCollector
 from ..symbiosys.analysis import (
     ProfileSummary,
     blocked_ult_samples,

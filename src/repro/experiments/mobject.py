@@ -15,7 +15,7 @@ from ..margo import MargoInstance
 from ..net import Fabric
 from ..services.mobject import MobjectProviderNode
 from ..sim import Simulator
-from ..symbiosys import Stage, SymbiosysCollector, push
+from ..symbiosys import Stage, SymbiosysCollector
 from ..symbiosys.analysis import (
     ProfileSummary,
     TraceSummary,

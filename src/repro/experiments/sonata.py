@@ -11,11 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..margo import MargoConfig, MargoInstance
-from ..net import Fabric
+from ..cluster import Cluster
 from ..services.sonata import SonataClient, SonataProvider
-from ..sim import Simulator
-from ..symbiosys import Stage, SymbiosysCollector, push
+from ..symbiosys import Stage, SymbiosysCollector
 from ..symbiosys.analysis import profile_summary
 from ..workloads import generate_json_records
 from .presets import THETA_KNL, Preset
@@ -68,32 +66,10 @@ def run_sonata_experiment(
     preset: Preset = THETA_KNL,
     time_limit: float = 600.0,
 ) -> SonataExperimentResult:
-    sim = Simulator()
-    fabric = Fabric(sim, preset.fabric)
-    collector = SymbiosysCollector(stage)
-
-    server = MargoInstance(
-        sim,
-        fabric,
-        "sonata-svr",
-        "nodeA",
-        config=MargoConfig(n_handler_es=2),
-        hg_config=preset.hg_config(),
-        serialization=preset.serialization,
-        ctx_switch_cost=preset.ctx_switch_cost,
-        instrumentation=collector.create_instrumentation(),
-    )
+    cluster = Cluster(stage=stage, preset=preset)
+    server = cluster.process("sonata-svr", "nodeA", n_handler_es=2)
     SonataProvider(server, _PROVIDER_ID)
-    client_mi = MargoInstance(
-        sim,
-        fabric,
-        "sonata-cli",
-        "nodeB",
-        hg_config=preset.hg_config(),
-        serialization=preset.serialization,
-        ctx_switch_cost=preset.ctx_switch_cost,
-        instrumentation=collector.create_instrumentation(),
-    )
+    client_mi = cluster.process("sonata-cli", "nodeB")
     client = SonataClient(client_mi)
     records = generate_json_records(
         n_records, fields_per_record=fields_per_record
@@ -105,13 +81,13 @@ def run_sonata_experiment(
         yield from client.store_multi(
             "sonata-svr", _PROVIDER_ID, "bench", records, batch_size=batch_size
         )
-        done["at"] = sim.now
+        done["at"] = cluster.sim.now
 
     client_mi.client_ult(body(), name="sonata-bench")
-    if not sim.run_until(lambda: "at" in done, limit=time_limit):
+    if not cluster.run_until(lambda: "at" in done, limit=time_limit):
         raise RuntimeError("sonata benchmark did not finish in time")
     return SonataExperimentResult(
-        collector=collector,
+        collector=cluster.collector,
         makespan=done["at"],
         n_records=n_records,
         batch_size=batch_size,

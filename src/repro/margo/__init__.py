@@ -1,10 +1,12 @@
 """Simulated Margo layer (DESIGN.md §2 item 5)."""
 
 from .errors import MargoError, MargoTimeoutError, RemoteRpcError
-from .hooks import NullInstrumentation
+from .hooks import Instrumentation, NullInstrumentation
 from .instance import MargoConfig, MargoInstance, ProcessStats
+from .retry import RetryPolicy
 
 __all__ = [
+    "Instrumentation",
     "MargoConfig",
     "MargoError",
     "MargoInstance",
@@ -12,4 +14,5 @@ __all__ = [
     "NullInstrumentation",
     "ProcessStats",
     "RemoteRpcError",
+    "RetryPolicy",
 ]

@@ -24,10 +24,13 @@ class MargoTimeoutError(MargoError):
     """A forward did not complete within the requested timeout; the
     handle was cancelled and any late response will be dropped."""
 
-    def __init__(self, rpc_name: str, target: str, timeout: float):
+    def __init__(self, rpc_name: str, target: str, timeout: float, handle=None):
         super().__init__(
             f"{rpc_name} on {target!r} timed out after {timeout:g}s"
         )
         self.rpc_name = rpc_name
         self.target = target
         self.timeout = timeout
+        #: The cancelled HGHandle of the failed attempt (for the retry
+        #: loop's instrumentation hooks); not part of the message.
+        self.handle = handle

@@ -1,16 +1,22 @@
 """Instrumentation hook interface between Margo and SYMBIOSYS.
 
 Margo is "the ideal software layer to host the performance measurement
-system" (paper §IV-A): every RPC passes through it on both sides.  The
-hooks below are the exact interception points SYMBIOSYS uses.  The
-default :class:`NullInstrumentation` does nothing (the overhead study's
-*Baseline*); :class:`repro.symbiosys.instrument.SymbiosysInstrumentation`
-implements the real behaviour at the configured stage.
+system" (paper §IV-A): every RPC passes through it on both sides.
+:class:`Instrumentation` is the contract -- ``MargoInstance`` accepts any
+implementation of it, calling each hook at the interception points
+SYMBIOSYS uses.  All hooks have no-op default bodies, so implementations
+override only what they need.  :class:`NullInstrumentation` overrides
+nothing (the overhead study's *Baseline*);
+:class:`repro.symbiosys.instrument.SymbiosysInstrumentation` implements
+the real behaviour at the configured stage.
 
 Hook call sites and their Figure 2 timestamps:
 
+* ``attach``               -- once, at MargoInstance construction
 * ``on_forward``           -- origin, t1, caller ULT, before the post
 * ``on_forward_complete``  -- origin, t14, caller ULT, after the response
+* ``on_forward_timeout``   -- origin, caller ULT, per-attempt deadline hit
+* ``on_forward_retry``     -- origin, caller ULT, before the backoff sleep
 * ``on_handler_start``     -- target, t5, handler ULT first instruction
 * ``on_respond``           -- target, t8, handler ULT entering respond
 * ``on_handler_end``       -- target, after t13, handler ULT about to exit
@@ -18,18 +24,20 @@ Hook call sites and their Figure 2 timestamps:
 
 from __future__ import annotations
 
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..argobots import ULT
     from ..mercury import HGHandle
     from .instance import MargoInstance
 
-__all__ = ["NullInstrumentation"]
+__all__ = ["Instrumentation", "NullInstrumentation"]
 
 
-class NullInstrumentation:
-    """No-op hooks: instrumentation and measurement fully disabled."""
+class Instrumentation:
+    """The hook contract between :class:`MargoInstance` and a measurement
+    system.  Subclass and override the hooks you need; every default body
+    is a no-op, so partial implementations are always safe to install."""
 
     def attach(self, mi: "MargoInstance") -> None:
         """Called once by MargoInstance at construction."""
@@ -49,6 +57,29 @@ class NullInstrumentation:
     ) -> None:
         """Origin, t14.  The full origin execution interval is [t1, t14]."""
 
+    def on_forward_timeout(
+        self,
+        mi: "MargoInstance",
+        handle: "HGHandle",
+        ult: Optional["ULT"],
+        timeout: float,
+    ) -> None:
+        """Origin: this attempt's per-RPC deadline expired and the handle
+        was cancelled.  Fires before any retry decision."""
+
+    def on_forward_retry(
+        self,
+        mi: "MargoInstance",
+        handle: "HGHandle",
+        ult: Optional["ULT"],
+        attempt: int,
+        delay: float,
+        target: str,
+    ) -> None:
+        """Origin: retry number ``attempt`` (1-based) is about to run
+        against ``target`` after sleeping ``delay`` seconds.  ``handle``
+        is the handle of the attempt that just failed."""
+
     def on_handler_start(
         self, mi: "MargoInstance", handle: "HGHandle", ult: "ULT"
     ) -> None:
@@ -63,3 +94,7 @@ class NullInstrumentation:
         self, mi: "MargoInstance", handle: "HGHandle", ult: "ULT"
     ) -> None:
         """Target, after the response-sent callback (t13 in marks)."""
+
+
+class NullInstrumentation(Instrumentation):
+    """No-op hooks: instrumentation and measurement fully disabled."""

@@ -21,12 +21,14 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
-from ..argobots import AbtRuntime, Pool, ULT, YieldNow
+from ..argobots import AbtRuntime, Compute, Pool, ULT, YieldNow
+from ..config import Replaceable
 from ..mercury import HGConfig, HGCore, HGHandle, SerializationModel
 from ..net import Fabric
 from ..sim import LocalClock, Simulator
 from .errors import MargoTimeoutError, RemoteRpcError
-from .hooks import NullInstrumentation
+from .hooks import Instrumentation, NullInstrumentation
+from .retry import RetryPolicy
 
 __all__ = ["MargoConfig", "MargoInstance", "ProcessStats"]
 
@@ -35,8 +37,8 @@ __all__ = ["MargoConfig", "MargoInstance", "ProcessStats"]
 _ERROR_KEY = "__margo_error__"
 
 
-@dataclass(frozen=True)
-class MargoConfig:
+@dataclass(frozen=True, kw_only=True)
+class MargoConfig(Replaceable):
     """Process-level Margo knobs (Table IV columns map here)."""
 
     #: Dedicated ES for the progress ULT ("Client Progress Thread?").
@@ -100,7 +102,9 @@ class MargoInstance:
         hg_config: Optional[HGConfig] = None,
         serialization: Optional[SerializationModel] = None,
         clock: Optional[LocalClock] = None,
-        instrumentation: Optional[NullInstrumentation] = None,
+        instrumentation: Optional[Instrumentation] = None,
+        retry: Optional[RetryPolicy] = None,
+        rng=None,
         ctx_switch_cost: float = 50e-9,
     ):
         self.sim = sim
@@ -110,6 +114,11 @@ class MargoInstance:
         self.config = config or MargoConfig()
         self.clock = clock or LocalClock()
         self.instr = instrumentation or NullInstrumentation()
+        #: Default resilience policy applied by ``forward`` when the call
+        #: site does not pass its own.
+        self.retry = retry
+        #: Numpy Generator used for backoff jitter (None = no jitter).
+        self._rng = rng
 
         self.rt = AbtRuntime(sim, name=addr, ctx_switch_cost=ctx_switch_cost)
         self.primary_pool = self.rt.create_pool(f"{addr}.primary")
@@ -147,6 +156,12 @@ class MargoInstance:
         #: RemoteRpcError payloads (the server survives them).
         self.handler_errors: list[tuple[str, Exception]] = []
         self._finalizing = False
+        #: Optional fault-injection hook (duck-typed; see
+        #: :class:`repro.faults.FaultInjector`).  Consulted at handler
+        #: start: ``on_handler(mi, handle) -> Optional[HandlerAction]``.
+        self.fault_hook = None
+        self._crashed = False
+        self._hang_until = 0.0
         #: The pool the progress loop should live on; runtime migration
         #: (enable_progress_thread) repoints this.
         self._progress_home = self.progress_pool
@@ -228,6 +243,7 @@ class MargoInstance:
         payload: Any,
         provider_id: int = 0,
         timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Blocking RPC from a client ULT: ``out = yield from mi.forward(...)``.
 
@@ -236,7 +252,65 @@ class MargoInstance:
         :class:`MargoTimeoutError` if no response arrives in time (the
         handle is cancelled; a late response is dropped).  If the remote
         handler raised, re-raises here as :class:`RemoteRpcError`.
+
+        With a :class:`RetryPolicy` (per-call ``retry`` or the instance
+        default), each attempt uses the policy's per-attempt timeout and
+        failed attempts are retried with backoff, optionally failing over
+        to alternate targets.  An explicit ``timeout`` overrides the
+        policy's per-attempt deadline.
         """
+        policy = retry if retry is not None else self.retry
+        if policy is None:
+            out = yield from self._forward_attempt(
+                target_addr, rpc_name, payload, provider_id, timeout
+            )
+            return out
+
+        ult = self.rt.self_ult()
+        attempt_timeout = timeout if timeout is not None else policy.timeout
+        last_exc: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            target = policy.target_for(target_addr, attempt)
+            try:
+                out = yield from self._forward_attempt(
+                    target, rpc_name, payload, provider_id, attempt_timeout
+                )
+                return out
+            except MargoTimeoutError as exc:
+                last_exc = exc
+            except RemoteRpcError as exc:
+                if not policy.retry_remote_errors:
+                    raise
+                last_exc = exc
+            if attempt == policy.max_attempts:
+                break
+            delay = policy.delay(attempt, self._rng)
+            next_target = policy.target_for(target_addr, attempt + 1)
+            self.hg.pvars.add("num_forward_retries", 1)
+            if next_target != target_addr:
+                self.hg.pvars.add("num_failed_over_forwards", 1)
+            self.instr.on_forward_retry(
+                self,
+                getattr(last_exc, "handle", None),
+                ult,
+                attempt,
+                delay,
+                next_target,
+            )
+            if delay > 0:
+                yield from self.rt.sleep(delay)
+        assert last_exc is not None
+        raise last_exc
+
+    def _forward_attempt(
+        self,
+        target_addr: str,
+        rpc_name: str,
+        payload: Any,
+        provider_id: int,
+        timeout: Optional[float],
+    ) -> Generator:
+        """One post/wait cycle of ``forward`` (no retry logic)."""
         ult = self.rt.self_ult()
         handle = self.hg.create(target_addr, rpc_name)
         handle.header["provider_id"] = provider_id
@@ -261,7 +335,9 @@ class MargoInstance:
             ok, _ = yield from ev.wait(timeout=timeout)
             if not ok:
                 self.hg.cancel(handle)
-                raise MargoTimeoutError(rpc_name, target_addr, timeout)
+                self.hg.pvars.add("num_forward_timeouts", 1)
+                self.instr.on_forward_timeout(self, handle, ult, timeout)
+                raise MargoTimeoutError(rpc_name, target_addr, timeout, handle)
 
         t14 = handle.marks["t14"]
         self.instr.on_forward_complete(self, handle, ult, t1, t14)
@@ -284,6 +360,15 @@ class MargoInstance:
         ult = self.rt.self_ult()
         self.instr.on_handler_start(self, handle, ult)
         try:
+            if self.fault_hook is not None:
+                action = self.fault_hook.on_handler(self, handle)
+                if action is not None:
+                    if action.stall > 0:
+                        # An artificial stall burns ES time like a real
+                        # misbehaving handler (it delays pool peers too).
+                        yield Compute(action.stall)
+                    if action.error is not None:
+                        raise action.error
             yield from handler(self, handle)
         except Exception as exc:  # noqa: BLE001 - server must stay alive
             self.handler_errors.append((handle.rpc_name, exc))
@@ -359,6 +444,66 @@ class MargoInstance:
         """Adjust Mercury's per-iteration OFI read cap at runtime."""
         self.hg.set_ofi_max_events(n)
 
+    # -- process faults (driven by repro.faults.FaultInjector) ----------------
+
+    @property
+    def crashed(self) -> bool:
+        """True between :meth:`crash` and :meth:`restart`."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail-stop this process.
+
+        The endpoint closes (in-flight deliveries are discarded, and a
+        closed source cannot inject anything), the progress loop exits,
+        and in-flight handler ULTs never complete their responses.  Peers
+        observe only silence -- exactly what a timeout/retry policy is
+        for.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._finalizing = True
+        self.endpoint.close()
+
+    def hang(self, duration: float) -> None:
+        """Make the process unresponsive for ``duration`` seconds.
+
+        Unlike a crash, the endpoint stays open: requests queue in the CQ
+        and are serviced (late) once the hang lifts -- the GDB-attach
+        scenario rather than the kill-9 one.
+        """
+        if duration < 0:
+            raise ValueError("hang duration must be non-negative")
+        self._hang_until = max(self._hang_until, self.sim.now + duration)
+
+    def restart(self, warmup: float = 0.0) -> None:
+        """Bring a crashed process back.
+
+        The endpoint reopens and a fresh progress loop spawns.  A nonzero
+        ``warmup`` models slow restart: the process is reachable (messages
+        queue) but unresponsive until the warmup elapses.  RPC
+        registrations survive -- this is a process restart, not a
+        reconstruction.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._finalizing = False
+        self.endpoint.reopen()
+        if warmup > 0:
+            self._hang_until = max(self._hang_until, self.sim.now + warmup)
+        self._progress_ult = self.rt.spawn(
+            self._progress_loop(),
+            self._progress_home,
+            name=f"{self.addr}.__margo_progress",
+        )
+
+    def resilience_counters(self) -> dict[str, int]:
+        """The degraded-mode gauges (timeouts, retries, failovers, dropped
+        late responses) for this process."""
+        return self.hg.resilience_counters()
+
     # -- progress loop -------------------------------------------------------------
 
     def _progress_loop(self) -> Generator:
@@ -373,6 +518,15 @@ class MargoInstance:
         hg = self.hg
         my_pool = self._progress_home
         while not self._finalizing:
+            if self.rt.self_ult() is not self._progress_ult:
+                # A restart spawned a replacement while this incarnation
+                # was blocked in the OFI wait: stand down.
+                return
+            if self.sim.now < self._hang_until:
+                # Hung process: no progress, no triggers; the endpoint
+                # keeps queueing arrivals for when we come back.
+                yield from self.rt.sleep(self._hang_until - self.sim.now)
+                continue
             if self._progress_home is not my_pool:
                 # Migrate: continue on the newly designated pool.
                 self._progress_ult = self.rt.spawn(

@@ -4,7 +4,14 @@ See DESIGN.md §2 item 4 and the paper's Section IV-B.
 """
 
 from .bulk import BulkRef
-from .core import HGConfig, HGCore, HGHandle, RequestWire, ResponseWire
+from .core import (
+    HGConfig,
+    HGCore,
+    HGHandle,
+    RESILIENCE_PVARS,
+    RequestWire,
+    ResponseWire,
+)
 from .pvar import (
     PvarBinding,
     PvarClass,
@@ -28,6 +35,7 @@ __all__ = [
     "PvarHandle",
     "PvarRegistry",
     "PvarSession",
+    "RESILIENCE_PVARS",
     "RequestWire",
     "ResponseWire",
     "SerializationModel",

@@ -30,18 +30,34 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..argobots import AbtRuntime, Compute
+from ..config import Replaceable
 from ..net import CQEntry, CQKind, Endpoint, Fabric, Message
 from ..sim import Simulator
 from .pvar import PvarBinding, PvarClass, PvarDef, PvarError, PvarRegistry, PvarSession
 from .serialization import SerializationModel, estimate_size
 
-__all__ = ["HGConfig", "HGCore", "HGHandle", "RequestWire", "ResponseWire"]
+__all__ = [
+    "HGConfig",
+    "HGCore",
+    "HGHandle",
+    "RESILIENCE_PVARS",
+    "RequestWire",
+    "ResponseWire",
+]
 
 _cookies = itertools.count(1)
 
+#: The degraded-mode gauges of the resilience layer, in report order.
+RESILIENCE_PVARS = (
+    "num_forward_timeouts",
+    "num_forward_retries",
+    "num_failed_over_forwards",
+    "num_late_responses_dropped",
+)
 
-@dataclass(frozen=True)
-class HGConfig:
+
+@dataclass(frozen=True, kw_only=True)
+class HGConfig(Replaceable):
     """Tunable Mercury parameters.
 
     ``ofi_max_events`` is the paper's ``OFI_max_events``: the most
@@ -293,6 +309,36 @@ class HGCore:
                 B.NO_OBJECT,
                 "RPCs whose metadata overflowed the eager buffer",
             ),
+            # Resilience gauges: degraded-mode behaviour under faults.
+            # Updated by the Margo retry/timeout layer and the response
+            # path unconditionally (not gated on pvars_enabled) -- they
+            # cost one integer add and resilience reports need them even
+            # in Baseline runs.
+            PvarDef(
+                "num_forward_timeouts",
+                P.COUNTER,
+                B.NO_OBJECT,
+                "Forwards that hit their timeout and were cancelled",
+            ),
+            PvarDef(
+                "num_forward_retries",
+                P.COUNTER,
+                B.NO_OBJECT,
+                "Forwards re-issued by a retry policy after a failure",
+            ),
+            PvarDef(
+                "num_failed_over_forwards",
+                P.COUNTER,
+                B.NO_OBJECT,
+                "Forward attempts redirected to a failover target",
+            ),
+            PvarDef(
+                "num_late_responses_dropped",
+                P.COUNTER,
+                B.NO_OBJECT,
+                "Responses dropped on arrival: handle cancelled, already "
+                "completed, or duplicated on the wire",
+            ),
         ]
         for d in defs:
             self.pvars.define(d)
@@ -300,6 +346,10 @@ class HGCore:
     def pvar_session_init(self) -> PvarSession:
         """Entry point of the external-tool interface (Section IV-B-2)."""
         return PvarSession(self.pvars)
+
+    def resilience_counters(self) -> dict[str, int]:
+        """Current values of the degraded-mode gauges (always live)."""
+        return {name: self.pvars.raw_value(name) for name in RESILIENCE_PVARS}
 
     # -- registration -----------------------------------------------------------
 
@@ -592,13 +642,17 @@ class HGCore:
     def _on_response(self, wire: ResponseWire) -> None:
         if wire.cookie in self._cancelled:
             self._cancelled.discard(wire.cookie)
+            self.pvars.add("num_late_responses_dropped", 1)
             return
         try:
             handle, cb = self._posted.pop(wire.cookie)
         except KeyError:
-            raise RuntimeError(
-                f"response for unknown handle cookie {wire.cookie}"
-            ) from None
+            # Not (or no longer) posted: a response that raced a timeout
+            # cancellation, or a wire-level duplicate of one already
+            # consumed.  Real Mercury ignores stale completions; we count
+            # them as a resilience gauge.
+            self.pvars.add("num_late_responses_dropped", 1)
+            return
         handle.output = wire.payload
         handle.output_size = wire.output_size
         handle.header.update(wire.header)

@@ -17,11 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ..config import Replaceable
+
 __all__ = ["SerializationModel", "estimate_size"]
 
 
-@dataclass(frozen=True)
-class SerializationModel:
+@dataclass(frozen=True, kw_only=True)
+class SerializationModel(Replaceable):
     """Affine cost model for encode/decode of RPC metadata."""
 
     ser_fixed: float = 0.3e-6

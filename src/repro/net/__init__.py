@@ -1,7 +1,7 @@
 """Simulated network fabric + OFI-style endpoints (DESIGN.md §2 item 3)."""
 
 from .endpoint import Endpoint
-from .fabric import Fabric, FabricConfig
+from .fabric import Fabric, FabricConfig, WireFault
 from .message import CQEntry, CQKind, Message
 
 __all__ = [
@@ -11,4 +11,5 @@ __all__ = [
     "Fabric",
     "FabricConfig",
     "Message",
+    "WireFault",
 ]

@@ -35,10 +35,30 @@ class Endpoint:
         #: Total entries ever enqueued / read.
         self.total_enqueued = 0
         self.total_read = 0
+        #: A closed endpoint models a crashed process' NIC: deliveries are
+        #: discarded and the fabric refuses sends originating from it.
+        self.closed = False
+        self.total_discarded = 0
+
+    # -- lifecycle (crash / restart support) ----------------------------------
+
+    def close(self) -> None:
+        """Stop accepting completions; queued entries are lost with the
+        process."""
+        self.closed = True
+        self._cq.clear()
+        self._armed.clear()
+
+    def reopen(self) -> None:
+        """Bring the endpoint back after a simulated process restart."""
+        self.closed = False
 
     # -- producer side (called by the fabric) --------------------------------
 
     def push(self, entry: CQEntry) -> None:
+        if self.closed:
+            self.total_discarded += 1
+            return
         self._cq.append(entry)
         self.total_enqueued += 1
         if len(self._cq) > self.cq_high_watermark:

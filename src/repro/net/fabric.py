@@ -18,15 +18,29 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..config import Replaceable
 from ..sim import Simulator
 from .endpoint import Endpoint
 from .message import CQEntry, CQKind, Message
 
-__all__ = ["Fabric", "FabricConfig"]
+__all__ = ["Fabric", "FabricConfig", "WireFault"]
 
 
-@dataclass(frozen=True)
-class FabricConfig:
+@dataclass
+class WireFault:
+    """A fault verdict for one transfer, produced by a fault hook
+    (:class:`repro.faults.FaultInjector`) and consumed by the fabric."""
+
+    #: Lose the message entirely (local injection still completes).
+    drop: bool = False
+    #: Deliver this many *extra* copies (at-least-once hazard).
+    copies: int = 0
+    #: Latency spike added to the wire time, seconds.
+    extra_delay: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class FabricConfig(Replaceable):
     """Latency/bandwidth parameters of the interconnect.
 
     Defaults approximate a Cray Aries-class HPC fabric; intra-node values
@@ -71,10 +85,16 @@ class Fabric:
         if self.config.drop_rate > 0 and rng is None:
             raise ValueError("drop_rate requires an RNG")
         self._endpoints: dict[str, Endpoint] = {}
+        #: Optional fault-injection hook (duck-typed; see
+        #: :class:`repro.faults.FaultInjector`).  Consulted per transfer:
+        #: ``on_message(msg, src_ep, dst_ep) -> Optional[WireFault]`` and
+        #: ``on_rdma(ini_ep, rem_ep) -> bool`` (True severs the op).
+        self.fault_hook = None
         #: Totals for the system-statistics summary.
         self.total_messages = 0
         self.total_bytes = 0
         self.total_dropped = 0
+        self.total_duplicated = 0
 
     # -- endpoint registry --------------------------------------------------
 
@@ -126,11 +146,25 @@ class Fabric:
         self.total_messages += 1
         self.total_bytes += msg.size_bytes
 
+        if src_ep.closed:
+            # A crashed process cannot inject anything: no delivery and
+            # no local completion either.
+            self.total_dropped += 1
+            return float("inf")
+
+        fault: Optional[WireFault] = None
+        if self.fault_hook is not None:
+            fault = self.fault_hook.on_message(msg, src_ep, dst_ep)
+
+        dropped = fault is not None and fault.drop
         if (
-            self.config.drop_rate > 0
+            not dropped
+            and self.config.drop_rate > 0
             and self._rng is not None
             and self._rng.random() < self.config.drop_rate
         ):
+            dropped = True
+        if dropped:
             # Silently lost on the wire: the local send still "completes"
             # (no ack in this transport), but nothing is delivered.
             self.total_dropped += 1
@@ -147,13 +181,22 @@ class Fabric:
         if on_local_complete is not None:
             self.sim.call_after(inject_time, on_local_complete)
 
-        delay = self.wire_time(src_ep.node, dst_ep.node, msg.size_bytes)
-        deliver_at = self.sim.now + delay
-        self.sim.call_at(
-            deliver_at,
-            dst_ep.push,
-            CQEntry(kind=CQKind.RECV, payload=msg, enqueued_at=deliver_at),
-        )
+        extra_delay = fault.extra_delay if fault is not None else 0.0
+        copies = 1 + (fault.copies if fault is not None else 0)
+        self.total_duplicated += copies - 1
+        deliver_at = float("inf")
+        for _ in range(copies):
+            delay = (
+                self.wire_time(src_ep.node, dst_ep.node, msg.size_bytes)
+                + extra_delay
+            )
+            at = self.sim.now + delay
+            self.sim.call_at(
+                at,
+                dst_ep.push,
+                CQEntry(kind=CQKind.RECV, payload=msg, enqueued_at=at),
+            )
+            deliver_at = min(deliver_at, at)
         return deliver_at
 
     # -- one-sided RDMA ------------------------------------------------------------
@@ -178,6 +221,15 @@ class Fabric:
         rem_ep = self.endpoint(remote)
         self.total_messages += 1
         self.total_bytes += size_bytes
+
+        severed = ini_ep.closed or rem_ep.closed
+        if not severed and self.fault_hook is not None:
+            severed = self.fault_hook.on_rdma(ini_ep, rem_ep)
+        if severed:
+            # Reliable transport cannot cross a partition or reach a dead
+            # process: the operation simply never completes.
+            self.total_dropped += 1
+            return float("inf")
 
         same = bool(ini_ep.node) and ini_ep.node == rem_ep.node
         lat = (

@@ -81,6 +81,10 @@ class CallpathRow:
 class ProfileSummary:
     rows: list[CallpathRow]
     registry: Optional[CallpathRegistry] = None
+    #: Run-wide degraded-mode gauges (timeouts, retries, failovers,
+    #: dropped late responses), summed over processes.  All-zero in a
+    #: fault-free run.
+    resilience: dict[str, int] = field(default_factory=dict)
 
     def top(self, n: int = 5) -> list[CallpathRow]:
         return self.rows[:n]
@@ -115,6 +119,11 @@ class ProfileSummary:
                 f"    {'(unaccounted)':<48} {unacc / unit:>10.3f}{unit_name} "
                 f"({100 * unacc / row.cumulative_latency if row.cumulative_latency else 0:5.1f}%)"
             )
+        if any(self.resilience.values()):
+            lines.append("-" * 92)
+            lines.append("degraded-mode gauges:")
+            for name, value in self.resilience.items():
+                lines.append(f"    {name:<48} {value:>10}")
         return "\n".join(lines)
 
 
@@ -166,4 +175,8 @@ def profile_summary(
     ordered = sorted(
         rows.values(), key=lambda r: r.cumulative_latency, reverse=True
     )
-    return ProfileSummary(rows=ordered, registry=registry)
+    return ProfileSummary(
+        rows=ordered,
+        registry=registry,
+        resilience=collector.merged_resilience(),
+    )

@@ -46,6 +46,22 @@ class SymbiosysCollector:
             merged.merge(instr.target_profile)
         return merged
 
+    def merged_resilience(self) -> dict[str, int]:
+        """Run-wide degraded-mode gauges, summed over all processes."""
+        merged: dict[str, int] = {}
+        for instr in self.instruments:
+            for name, value in instr.resilience_counters().items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def resilience_by_process(self) -> dict[str, dict[str, int]]:
+        """Per-process degraded-mode gauges, keyed by address."""
+        return {
+            instr.process: instr.resilience_counters()
+            for instr in self.instruments
+            if instr.process is not None
+        }
+
     def all_events(self) -> list[TraceEvent]:
         events: list[TraceEvent] = []
         for instr in self.instruments:

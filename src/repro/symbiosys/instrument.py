@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, TYPE_CHECKING
 
-from ..margo.hooks import NullInstrumentation
+from ..margo.hooks import Instrumentation
 from .callpath import CallpathRegistry, push
 from .profiling import ProfileKey, ProfileStore
 from .stages import Stage
@@ -33,8 +33,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["SymbiosysInstrumentation"]
 
-#: NO_OBJECT PVARs sampled into origin-side trace events at t14.
-_T14_PVARS = ("num_ofi_events_read", "completion_queue_size", "num_posted_handles")
+#: NO_OBJECT PVARs sampled into origin-side trace events at t14.  The
+#: resilience gauges ride along so faulted runs expose degraded-mode
+#: state in every origin trace record.
+_T14_PVARS = (
+    "num_ofi_events_read",
+    "completion_queue_size",
+    "num_posted_handles",
+    "num_forward_timeouts",
+    "num_forward_retries",
+    "num_failed_over_forwards",
+    "num_late_responses_dropped",
+)
 #: HANDLE PVARs sampled on the target at handler end (t13).
 _TARGET_HANDLE_PVARS = (
     "input_deserialization_time",
@@ -44,13 +54,14 @@ _TARGET_HANDLE_PVARS = (
 )
 
 
-class SymbiosysInstrumentation(NullInstrumentation):
+class SymbiosysInstrumentation(Instrumentation):
     """Per-process instrumentation state + hook implementations."""
 
     def __init__(self, stage: Stage, registry: CallpathRegistry):
         self.stage = stage
         self.registry = registry
         self.process: Optional[str] = None
+        self.mi: Optional["MargoInstance"] = None
         self.origin_profile = ProfileStore()
         self.target_profile = ProfileStore()
         self.trace: Optional[TraceBuffer] = None
@@ -61,12 +72,20 @@ class SymbiosysInstrumentation(NullInstrumentation):
     def attach(self, mi: "MargoInstance") -> None:
         """Called by MargoInstance at construction time."""
         self.process = mi.addr
+        self.mi = mi
         self.trace = TraceBuffer(mi.addr)
         mi.hg.pvars_enabled = self.stage >= Stage.FULL
         if self.stage >= Stage.FULL:
             # The faithful data-exchange path: a PVAR session opened from
             # Margo's init routine (paper §IV-C).
             self._pvar_session = mi.hg.pvar_session_init()
+
+    def resilience_counters(self) -> dict[str, int]:
+        """Degraded-mode gauges of the attached process (always live --
+        the resilience counters are not gated on the stage)."""
+        if self.mi is None:
+            return {}
+        return self.mi.resilience_counters()
 
     # -- helpers ---------------------------------------------------------------
 

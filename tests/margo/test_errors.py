@@ -105,6 +105,40 @@ def test_forward_timeout_raises_and_cancels():
     assert len(world.client.hg._posted) == 0
 
 
+def test_late_response_counted_and_fully_cleaned_up():
+    """A response landing after its handle timed out increments the
+    degraded-mode gauge and leaves no posted or cancelled state behind."""
+    world = make_pair()
+
+    def glacial(mi, handle):
+        yield from mi.get_input(handle)
+        yield abt.Compute(10e-3)
+        yield from mi.respond(handle, "too late")
+
+    world.server.register("slow", glacial)
+    world.client.register("slow")
+    caught = []
+
+    def body():
+        try:
+            yield from world.client.forward("svr", "slow", {}, timeout=1e-3)
+        except MargoTimeoutError as exc:
+            caught.append(exc)
+
+    world.client.client_ult(body())
+    world.sim.run_until(lambda: caught, limit=0.01)
+    assert world.client.resilience_counters()["num_forward_timeouts"] == 1
+    assert world.client.resilience_counters()["num_late_responses_dropped"] == 0
+    world.sim.run(until=0.1)  # let the late response arrive
+    counters = world.client.resilience_counters()
+    assert counters["num_late_responses_dropped"] == 1
+    assert len(world.client.hg._posted) == 0
+    assert len(world.client.hg._cancelled) == 0
+    # No retry loop was involved, so those gauges stay untouched.
+    assert counters["num_forward_retries"] == 0
+    assert counters["num_failed_over_forwards"] == 0
+
+
 def test_forward_within_timeout_succeeds():
     world = make_pair()
     world.server.register("echo", echo_handler)

@@ -1,0 +1,47 @@
+"""Every knob dataclass is keyword-only, frozen, and replace()-able."""
+
+import dataclasses
+
+import pytest
+
+from repro.margo import MargoConfig, RetryPolicy
+from repro.mercury import HGConfig, SerializationModel
+from repro.net import FabricConfig
+
+KNOBS = [MargoConfig, HGConfig, SerializationModel, FabricConfig, RetryPolicy]
+
+
+@pytest.mark.parametrize("cls", KNOBS, ids=lambda c: c.__name__)
+def test_positional_construction_is_rejected(cls):
+    with pytest.raises(TypeError):
+        cls(1)
+
+
+@pytest.mark.parametrize("cls", KNOBS, ids=lambda c: c.__name__)
+def test_instances_are_frozen(cls):
+    knob = cls()
+    name = dataclasses.fields(cls)[0].name
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        setattr(knob, name, object())
+
+
+@pytest.mark.parametrize("cls", KNOBS, ids=lambda c: c.__name__)
+def test_replace_returns_modified_copy(cls):
+    knob = cls()
+    fields = {f.name: getattr(knob, f.name) for f in dataclasses.fields(cls)}
+    # Pick a numeric field to perturb; every knob class has at least one.
+    name, value = next(
+        (n, v) for n, v in fields.items() if isinstance(v, (int, float))
+        and not isinstance(v, bool)
+    )
+    changed = knob.replace(**{name: value + 1})
+    assert getattr(changed, name) == value + 1
+    assert getattr(knob, name) == value  # original untouched
+    for other in fields:
+        if other != name:
+            assert getattr(changed, other) == fields[other]
+
+
+def test_replace_rejects_unknown_field():
+    with pytest.raises(TypeError):
+        MargoConfig().replace(not_a_knob=3)
