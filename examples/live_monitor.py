@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Online telemetry walkthrough: watch a faulted Sonata campaign live.
+
+Runs the monitored campaign twice from one seed and asserts the full
+reports -- including the sha256 digests of the Prometheus snapshot, the
+CSV time-series, the Perfetto timeline, and the findings log -- are
+byte-identical (the determinism guarantee the telemetry layer makes;
+see docs/observability.md).  Then prints the report and writes the
+artifacts, ready for ``ui.perfetto.dev`` or any Prometheus tooling.
+
+Run:  python examples/live_monitor.py [seed] [out_dir]
+"""
+
+import sys
+
+from repro.experiments.monitor import run_monitor_experiment
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "monitor-artifacts"
+
+    first = run_monitor_experiment(seed=seed)
+    second = run_monitor_experiment(seed=seed)
+    assert first.report() == second.report(), "monitored run not deterministic"
+
+    print(f"two runs with seed={seed} produced byte-identical telemetry\n")
+    print(first.report())
+
+    paths = first.write_artifacts(out_dir)
+    print("\nartifacts:")
+    for path in paths:
+        print(f"  {path}")
+    print("\nload the .perfetto.json file at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

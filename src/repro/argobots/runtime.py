@@ -44,6 +44,11 @@ class AbtRuntime:
         self.total_spawned = 0
         self.total_finished = 0
         self._current_ult: Optional[ULT] = None
+        #: Optional scheduler observer (duck-typed; see
+        #: :class:`repro.symbiosys.monitor.SchedRecorder`).  When set,
+        #: every ES reports each ULT run slice:
+        #: ``on_slice(es, ult, start, end)``.
+        self.sched_observer = None
         self.shutting_down = False
         self.shutdown_event: SimEvent = sim.event(f"{name}.shutdown")
 

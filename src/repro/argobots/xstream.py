@@ -54,6 +54,7 @@ class ExecutionStream:
     def _run_ult(self, ult: ULT):
         rt = self.runtime
         sim = rt.sim
+        slice_start = sim.now
         if rt.ctx_switch_cost > 0:
             yield Timeout(rt.ctx_switch_cost)
             self.busy_time += rt.ctx_switch_cost
@@ -110,6 +111,8 @@ class ExecutionStream:
                     )
         finally:
             self.current = None
+            if rt.sched_observer is not None:
+                rt.sched_observer.on_slice(self, ult, slice_start, sim.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         running = self.current.name if self.current else None

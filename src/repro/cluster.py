@@ -30,7 +30,7 @@ it to every process -- the whole campaign replays identically from
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from .faults import FaultInjector, FaultPlan
 from .margo import Instrumentation, MargoConfig, MargoInstance, RetryPolicy
@@ -38,6 +38,7 @@ from .mercury import HGConfig, SerializationModel
 from .net import Fabric, FabricConfig
 from .sim import LocalClock, RngRegistry, Simulator
 from .symbiosys import Stage, SymbiosysCollector
+from .symbiosys.monitor import Monitor, MonitorConfig
 
 __all__ = ["Cluster"]
 
@@ -71,6 +72,7 @@ class Cluster:
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         instrumentation_factory: Optional[Callable[[], Instrumentation]] = None,
+        monitoring: Union[None, bool, MonitorConfig] = None,
     ):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
@@ -105,6 +107,19 @@ class Cluster:
             self.injector = FaultInjector(
                 self.sim, fault_plan, rng=self.rng.fork("faults")
             ).install(self.fabric)
+
+        #: Online telemetry (``monitoring=True`` for defaults, or pass a
+        #: :class:`~repro.symbiosys.monitor.MonitorConfig`).  Started
+        #: immediately; stopped by :meth:`shutdown` before the drain.
+        self.monitor: Optional[Monitor] = None
+        if monitoring:
+            mon_config = (
+                monitoring
+                if isinstance(monitoring, MonitorConfig)
+                else MonitorConfig()
+            )
+            self.monitor = Monitor(self.sim, mon_config, fabric=self.fabric)
+            self.monitor.start()
 
         self.processes: dict[str, MargoInstance] = {}
         #: Pending simulator events that survived the shutdown drain
@@ -158,6 +173,11 @@ class Cluster:
         )
         if self.injector is not None:
             self.injector.attach(mi)
+            trace = getattr(mi.instr, "trace", None)
+            if trace is not None:
+                self.injector.bind_trace(addr, trace)
+        if self.monitor is not None:
+            self.monitor.attach(mi)
         self.processes[addr] = mi
         return mi
 
@@ -199,6 +219,10 @@ class Cluster:
         if self._shutdown_done:
             return
         self._shutdown_done = True
+        if self.monitor is not None:
+            # The sampler must stop before the drain -- a self-
+            # rescheduling tick would keep the event queue alive forever.
+            self.monitor.stop()
         if self.injector is not None:
             # A scheduled restart must not revive a finalized process.
             self.injector.disarm()

@@ -13,6 +13,11 @@ from .hepnos import (
     run_hepnos_experiment,
 )
 from .mobject import MobjectExperimentResult, run_mobject_experiment
+from .monitor import (
+    MonitorExperimentResult,
+    default_monitor_config,
+    run_monitor_experiment,
+)
 from .overhead import (
     AnalysisTimings,
     OverheadStudyResult,
@@ -30,6 +35,7 @@ __all__ = [
     "HEPnOSConfig",
     "HEPnOSExperimentResult",
     "MobjectExperimentResult",
+    "MonitorExperimentResult",
     "OverheadStudyResult",
     "PUT_PACKED",
     "Preset",
@@ -38,9 +44,11 @@ __all__ = [
     "THETA_KNL",
     "ascii_table",
     "default_fault_plan",
+    "default_monitor_config",
     "default_retry_policy",
     "format_seconds",
     "run_fault_campaign",
+    "run_monitor_experiment",
     "run_hepnos_experiment",
     "run_mobject_experiment",
     "run_overhead_study",

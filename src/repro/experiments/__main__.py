@@ -24,6 +24,7 @@ from .configs import TABLE_IV, table_iv_rows
 from .faults import run_fault_campaign
 from .hepnos import run_hepnos_experiment
 from .mobject import run_mobject_experiment
+from .monitor import run_monitor_experiment
 from .overhead import run_overhead_study, time_analysis_scripts
 from .reporting import ascii_table, format_seconds, series_histogram
 from .sonata import run_sonata_experiment
@@ -130,6 +131,17 @@ def _faults(args) -> None:
     print(result.report())
 
 
+def _monitor(args) -> None:
+    # The smoke shape still spans the fault window (crash at 0.8 ms), so
+    # both the starvation and timeout-burst detectors get exercised.
+    kw = {"n_records": 600, "batch_size": 50} if args.smoke else {}
+    result = run_monitor_experiment(seed=args.seed, out_dir=args.out, **kw)
+    print("Monitored campaign: online telemetry under injected faults")
+    print(result.report())
+    if args.out:
+        print(f"artifacts written to {args.out}/")
+
+
 def _table4(args) -> None:
     print("Table IV: HEPnOS service configurations")
     print(ascii_table(table_iv_rows()))
@@ -154,6 +166,7 @@ TARGETS = {
     "table4": _table4,
     "table5": _table5,
     "faults": _faults,
+    "monitor": _monitor,
 }
 
 
@@ -171,7 +184,11 @@ def main(argv=None) -> int:
     parser.add_argument("--reps", type=int, default=5,
                         help="repetitions for the overhead study")
     parser.add_argument("--seed", type=int, default=0,
-                        help="seed for the fault campaign")
+                        help="seed for the fault/monitor campaigns")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload for CI smoke runs")
+    parser.add_argument("--out", default=None,
+                        help="artifact output directory for the monitor target")
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:

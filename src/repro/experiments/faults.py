@@ -10,8 +10,9 @@ degradation next to the resilience gauges and the fault-event timeline.
 
 Everything is deterministic: ``run_fault_campaign(seed=S).report()`` is
 byte-identical across runs for the same ``S``.  The report deliberately
-contains no request ids, cookies, or span ids (those come from
-process-global counters and differ between runs in one interpreter).
+contains no HG cookies or ULT ids (those come from process-global
+counters and differ between runs in one interpreter); request ids and
+span ids are run-scoped and would be safe, but stay out for brevity.
 """
 
 from __future__ import annotations

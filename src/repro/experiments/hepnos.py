@@ -24,6 +24,7 @@ from ..symbiosys.analysis import (
     ofi_events_series,
     profile_summary,
 )
+from ..symbiosys.monitor import Monitor, MonitorConfig
 from ..workloads import flatten_to_pairs, generate_event_files
 from .configs import HEPnOSConfig
 from .presets import THETA_KNL, Preset
@@ -52,6 +53,8 @@ class HEPnOSExperimentResult:
     server_addrs: list[str]
     #: PolicyEngines attached by the autotuning extension (if any).
     policy_engines: list = field(default_factory=list)
+    #: Online telemetry monitor (when the run was monitored; else None).
+    monitor: Optional[Monitor] = None
     _summary: Optional[ProfileSummary] = field(default=None, repr=False)
 
     @property
@@ -128,6 +131,7 @@ def run_hepnos_experiment(
     collector: Optional[SymbiosysCollector] = None,
     client_policy_factory=None,
     server_policy_factory=None,
+    monitoring: Optional[MonitorConfig] = None,
 ) -> HEPnOSExperimentResult:
     """Deploy ``config``, run the data-loader, and collect the results.
 
@@ -136,6 +140,9 @@ def run_hepnos_experiment(
     :class:`~repro.symbiosys.policy.PolicyEngine` (or None) -- the
     dynamic-reconfiguration extension.  Engines are returned on the
     result's ``policy_engines`` attribute.
+
+    ``monitoring`` attaches an online :class:`Monitor` to every process
+    for the duration of the run (returned as ``result.monitor``).
     """
     sim = Simulator()
     fabric = Fabric(sim, preset.fabric)
@@ -156,6 +163,13 @@ def run_hepnos_experiment(
         ctx_switch_cost=preset.ctx_switch_cost,
         instrumentation_factory=collector.create_instrumentation,
     )
+
+    monitor: Optional[Monitor] = None
+    if monitoring is not None:
+        monitor = Monitor(sim, monitoring, fabric=fabric)
+        for server_mi in service.servers:
+            monitor.attach(server_mi)
+        monitor.start()
 
     if pipeline_width is None:
         windows = max(1, events_per_client // config.batch_size)
@@ -207,12 +221,16 @@ def run_hepnos_experiment(
             engine = client_policy_factory(mi)
             if engine is not None:
                 policy_engines.append(engine)
+        if monitor is not None:
+            monitor.attach(mi)
         loader.load(flatten_to_pairs(files))
         loaders.append(loader)
 
     finished = sim.run_until(
         lambda: all(ld.done for ld in loaders), limit=time_limit
     )
+    if monitor is not None:
+        monitor.stop()
     if not finished:
         raise RuntimeError(
             f"{config.name}: data-loader did not finish within "
@@ -229,4 +247,5 @@ def run_hepnos_experiment(
         server_addrs=[s.addr for s in service.servers],
     )
     result.policy_engines = policy_engines
+    result.monitor = monitor
     return result

@@ -1,0 +1,221 @@
+"""Online-monitoring experiment: watch a Sonata campaign live.
+
+The post-mortem harnesses (profiles, traces, the fault campaign) answer
+questions after the run; this one exercises the *online* half of the
+observability layer.  It runs the Sonata ``store_multi_json`` workload
+under the default fault plan with a :class:`~repro.symbiosys.Monitor`
+attached, so the run produces, while it unfolds:
+
+* ring-buffer time-series of every PVAR / tasking / fabric gauge,
+* ULT-level scheduler slices for the Perfetto timeline,
+* anomaly findings (the server crash trips the progress-starvation
+  detector; the retry storm around it trips the timeout-burst detector),
+
+and then renders the three export formats.  Everything is deterministic:
+``run_monitor_experiment(seed=S).report()`` -- including the sha256
+digests of all four artifacts -- is byte-identical across runs of the
+same ``S``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster import Cluster
+from ..faults import FaultPlan
+from ..margo import MargoError, RetryPolicy
+from ..services.sonata import SonataClient, SonataProvider
+from ..symbiosys import Stage
+from ..symbiosys.exporters import series_to_csv, to_prometheus, write_text
+from ..symbiosys.monitor import Finding, MonitorConfig
+from ..symbiosys.perfetto import chrome_trace_json
+from ..workloads import generate_json_records
+from .faults import default_fault_plan, default_retry_policy
+
+__all__ = [
+    "MonitorExperimentResult",
+    "default_monitor_config",
+    "run_monitor_experiment",
+]
+
+_SERVER = "sonata-svr"
+_CLIENT = "sonata-cli"
+_PROVIDER_ID = 1
+
+
+def default_monitor_config() -> MonitorConfig:
+    """Tuned for the default fault campaign: the sampler is fast enough
+    to see the 0.4 ms restart downtime, and the burst detector matches
+    the retry policy's timeout scale."""
+    return MonitorConfig(
+        interval=25e-6,
+        starvation_threshold=0.2e-3,
+        queue_watermark=8,
+        timeout_burst_count=2,
+        timeout_burst_window=2e-3,
+    )
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass
+class MonitorExperimentResult:
+    """One monitored Sonata campaign plus its rendered artifacts."""
+
+    seed: int
+    plan_name: str
+    n_records: int
+    batch_size: int
+    makespan: float
+    batches_ok: int
+    batches_failed: int
+    n_series: int
+    n_samples: int
+    n_sched_slices: int
+    sampler_ticks: int
+    findings: list[Finding] = field(default_factory=list)
+    #: Rendered artifacts (also written to disk by ``write_artifacts``).
+    prometheus_text: str = ""
+    series_csv: str = ""
+    perfetto_json: str = ""
+    findings_text: str = ""
+
+    def detectors_fired(self) -> list[str]:
+        return sorted({f.detector for f in self.findings})
+
+    def digests(self) -> dict[str, str]:
+        """sha256 prefixes of every artifact -- the determinism probe."""
+        return {
+            "prometheus": _digest(self.prometheus_text),
+            "series_csv": _digest(self.series_csv),
+            "perfetto": _digest(self.perfetto_json),
+            "findings": _digest(self.findings_text),
+        }
+
+    def write_artifacts(self, out_dir) -> list[str]:
+        """Write the four artifacts into ``out_dir``; returns the paths."""
+        import os
+
+        os.makedirs(out_dir, exist_ok=True)
+        files = {
+            "metrics.prom": self.prometheus_text,
+            "series.csv": self.series_csv,
+            "timeline.perfetto.json": self.perfetto_json,
+            "findings.txt": self.findings_text,
+        }
+        paths = []
+        for name, text in files.items():
+            path = os.path.join(out_dir, name)
+            write_text(path, text)
+            paths.append(path)
+        return paths
+
+    def report(self) -> str:
+        """Deterministic plain-text report (byte-identical per seed)."""
+        lines = [
+            f"monitored campaign {self.plan_name!r} (seed={self.seed})",
+            f"  workload: {self.n_records} records in batches of "
+            f"{self.batch_size}",
+            f"  makespan: {self.makespan * 1e3:.6f} ms  "
+            f"({self.batches_ok} batches ok, {self.batches_failed} lost)",
+            f"  telemetry: {self.n_series} series, {self.n_samples} samples, "
+            f"{self.sampler_ticks} ticks, {self.n_sched_slices} sched slices",
+            f"  anomalies ({len(self.findings)}):",
+        ]
+        for f in self.findings:
+            lines.append(
+                f"    {f.time * 1e3:12.6f} ms  {f.detector:<24} "
+                f"{f.process:<14} {f.message}"
+            )
+        lines.append("  artifact digests:")
+        for name, digest in sorted(self.digests().items()):
+            lines.append(f"    {name:<12} {digest}")
+        return "\n".join(lines)
+
+
+def run_monitor_experiment(
+    *,
+    seed: int = 0,
+    n_records: int = 2_000,
+    batch_size: int = 100,
+    monitor_config: Optional[MonitorConfig] = None,
+    plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    out_dir: Optional[str] = None,
+    time_limit: float = 600.0,
+) -> MonitorExperimentResult:
+    """Run the Sonata workload under faults with the monitor attached.
+
+    ``out_dir``, if given, receives the four artifacts (Prometheus
+    snapshot, CSV time-series, Perfetto timeline, findings log).
+    """
+    monitor_config = (
+        monitor_config if monitor_config is not None else default_monitor_config()
+    )
+    plan = plan if plan is not None else default_fault_plan()
+    retry = retry if retry is not None else default_retry_policy()
+
+    with Cluster(
+        seed=seed,
+        stage=Stage.FULL,
+        fault_plan=plan,
+        retry=retry,
+        monitoring=monitor_config,
+    ) as cluster:
+        server = cluster.process(_SERVER, "nodeA", n_handler_es=2)
+        SonataProvider(server, _PROVIDER_ID)
+        client_mi = cluster.process(_CLIENT, "nodeB")
+        client = SonataClient(client_mi)
+        records = generate_json_records(n_records, fields_per_record=6)
+        outcome = {"ok": 0, "failed": 0}
+        done = {}
+
+        def body():
+            yield from client.create_database(_SERVER, _PROVIDER_ID, "bench")
+            for start in range(0, n_records, batch_size):
+                batch = records[start : start + batch_size]
+                try:
+                    yield from client.store_multi(
+                        _SERVER, _PROVIDER_ID, "bench", batch,
+                        batch_size=len(batch),
+                    )
+                    outcome["ok"] += 1
+                except MargoError:
+                    outcome["failed"] += 1
+            done["at"] = cluster.sim.now
+
+        client_mi.client_ult(body(), name="monitor-campaign")
+        if not cluster.run_until(lambda: "at" in done, limit=time_limit):
+            raise RuntimeError("monitored campaign did not finish in time")
+        makespan = done["at"]
+
+    monitor = cluster.monitor
+    result = MonitorExperimentResult(
+        seed=seed,
+        plan_name=plan.name,
+        n_records=n_records,
+        batch_size=batch_size,
+        makespan=makespan,
+        batches_ok=outcome["ok"],
+        batches_failed=outcome["failed"],
+        n_series=len(monitor.store),
+        n_samples=monitor.store.total_samples,
+        n_sched_slices=len(monitor.sched),
+        sampler_ticks=monitor.sampler.ticks,
+        findings=list(monitor.findings),
+        prometheus_text=to_prometheus(monitor.registry),
+        series_csv=series_to_csv(monitor.store),
+        perfetto_json=chrome_trace_json(
+            monitor=monitor,
+            collector=cluster.collector,
+            fault_events=cluster.fault_events(),
+        ),
+        findings_text=monitor.findings_report() + "\n",
+    )
+    if out_dir is not None:
+        result.write_artifacts(out_dir)
+    return result

@@ -19,8 +19,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from typing import Optional
+
 from ..symbiosys import Stage
 from ..symbiosys.analysis import profile_summary, system_summary, trace_summary
+from ..symbiosys.monitor import MonitorConfig
 from .configs import HEPnOSConfig, TABLE_IV
 from .hepnos import HEPnOSExperimentResult, run_hepnos_experiment
 from .presets import THETA_KNL, Preset
@@ -50,9 +53,13 @@ class StageTiming:
     wall_times: list[float] = field(default_factory=list)
     sim_makespans: list[float] = field(default_factory=list)
     trace_events: int = 0
+    #: Overrides the stage label (used by the monitoring arm).
+    label_override: Optional[str] = None
 
     @property
     def label(self) -> str:
+        if self.label_override is not None:
+            return self.label_override
         return _STAGE_LABELS[self.stage]
 
     @property
@@ -67,11 +74,25 @@ class StageTiming:
 @dataclass
 class OverheadStudyResult:
     timings: dict[Stage, StageTiming]
+    #: The Full-Support run repeated with the online monitor attached
+    #: (``run_overhead_study(monitoring=...)``); None otherwise.
+    monitored: Optional[StageTiming] = None
 
     def overhead_vs_baseline(self, stage: Stage) -> float:
         """Relative wall-clock overhead of ``stage`` over Baseline."""
         base = self.timings[Stage.OFF].mean_wall
         return (self.timings[stage].mean_wall - base) / base if base > 0 else 0.0
+
+    def monitoring_sim_overhead(self) -> float:
+        """Relative *simulated-time* overhead of monitoring over the
+        un-monitored Full Support run (0.0 by construction: the sampler
+        is a pure observer and adds no simulated cost)."""
+        if self.monitored is None:
+            raise ValueError("study was run without a monitoring arm")
+        base = self.timings[Stage.FULL].mean_makespan
+        if base <= 0:
+            return 0.0
+        return (self.monitored.mean_makespan - base) / base
 
     def rows(self) -> list[dict]:
         out = []
@@ -86,6 +107,22 @@ class OverheadStudyResult:
                     "overhead_vs_baseline": self.overhead_vs_baseline(stage),
                 }
             )
+        if self.monitored is not None:
+            t = self.monitored
+            out.append(
+                {
+                    "stage": t.label,
+                    "mean_wall_s": t.mean_wall,
+                    "mean_sim_makespan_s": t.mean_makespan,
+                    "trace_events": t.trace_events,
+                    "overhead_vs_baseline": (
+                        (t.mean_wall - self.timings[Stage.OFF].mean_wall)
+                        / self.timings[Stage.OFF].mean_wall
+                        if self.timings[Stage.OFF].mean_wall > 0
+                        else 0.0
+                    ),
+                }
+            )
         return out
 
 
@@ -96,9 +133,14 @@ def run_overhead_study(
     events_per_client: int = 1024,
     preset: Preset = THETA_KNL,
     stages=OVERHEAD_STAGES,
+    monitoring: Optional[MonitorConfig] = None,
 ) -> OverheadStudyResult:
     """Figure 13: repeat the data-loader run at each instrumentation
-    stage and time it."""
+    stage and time it.
+
+    ``monitoring`` adds a fifth arm: Full Support with the online
+    monitor attached, so the telemetry layer's cost shows up next to the
+    instrumentation stages (its *simulated* overhead must be ~0)."""
     if config is None:
         # The paper's overhead study used a dedicated large-scale setup;
         # C2's shape (32 clients, 4 servers) is the closest Table IV row.
@@ -123,7 +165,28 @@ def run_overhead_study(
                 timing.trace_events, result.collector.total_trace_events
             )
         timings[stage] = timing
-    return OverheadStudyResult(timings=timings)
+
+    monitored: Optional[StageTiming] = None
+    if monitoring is not None:
+        monitored = StageTiming(
+            stage=Stage.FULL, label_override="Full + monitor"
+        )
+        for rep in range(repetitions):
+            t0 = time.perf_counter()
+            result = run_hepnos_experiment(
+                config,
+                events_per_client=events_per_client,
+                stage=Stage.FULL,
+                preset=preset,
+                seed=1000 + rep,
+                monitoring=monitoring,
+            )
+            monitored.wall_times.append(time.perf_counter() - t0)
+            monitored.sim_makespans.append(result.makespan)
+            monitored.trace_events = max(
+                monitored.trace_events, result.collector.total_trace_events
+            )
+    return OverheadStudyResult(timings=timings, monitored=monitored)
 
 
 @dataclass

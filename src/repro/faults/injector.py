@@ -94,6 +94,9 @@ class FaultInjector:
         #: Fired-fault totals by kind (e.g. {"drop": 3, "crash": 1}).
         self.counters: dict[str, int] = {}
         self._processes: dict[str, "MargoInstance"] = {}
+        #: addr -> trace sink (duck-typed: ``annotate(time, kind,
+        #: detail)``; see :class:`repro.symbiosys.tracing.TraceBuffer`).
+        self._trace_sinks: dict[str, object] = {}
         self._disarmed = False
 
     # -- wiring ---------------------------------------------------------------
@@ -121,6 +124,13 @@ class FaultInjector:
                     fault.at + fault.downtime, self._do_restart, mi, fault.warmup
                 )
 
+    def bind_trace(self, addr: str, sink) -> None:
+        """Mirror fired faults touching ``addr`` into ``sink`` (anything
+        with ``annotate(time, kind, detail)``, typically that process's
+        SYMBIOSYS trace buffer) so trace analysis can attribute latency
+        spikes to injected faults."""
+        self._trace_sinks[addr] = sink
+
     def disarm(self) -> None:
         """Suppress all not-yet-fired process faults.
 
@@ -133,9 +143,13 @@ class FaultInjector:
 
     # -- recording ------------------------------------------------------------
 
-    def _record(self, kind: str, *detail) -> None:
+    def _record(self, kind: str, *detail, procs: tuple = ()) -> None:
         self.events.append(FaultEvent(self.sim.now, kind, tuple(detail)))
         self.counters[kind] = self.counters.get(kind, 0) + 1
+        for addr in procs:
+            sink = self._trace_sinks.get(addr)
+            if sink is not None:
+                sink.annotate(self.sim.now, kind, tuple(detail))
 
     def event_trace(self) -> list[tuple]:
         """The full fault timeline as comparable tuples -- identical for
@@ -147,19 +161,19 @@ class FaultInjector:
     def _do_crash(self, mi: "MargoInstance") -> None:
         if self._disarmed or mi.crashed:
             return
-        self._record("crash", mi.addr)
+        self._record("crash", mi.addr, procs=(mi.addr,))
         mi.crash()
 
     def _do_hang(self, mi: "MargoInstance", duration: float) -> None:
         if self._disarmed:
             return
-        self._record("hang", mi.addr, duration)
+        self._record("hang", mi.addr, duration, procs=(mi.addr,))
         mi.hang(duration)
 
     def _do_restart(self, mi: "MargoInstance", warmup: float) -> None:
         if self._disarmed or not mi.crashed:
             return
-        self._record("restart", mi.addr, warmup)
+        self._record("restart", mi.addr, warmup, procs=(mi.addr,))
         mi.restart(warmup=warmup)
 
     # -- fabric hook ----------------------------------------------------------
@@ -171,7 +185,10 @@ class FaultInjector:
         now = self.sim.now
         for window in self.plan.partitions:
             if window.severs(src_ep.node, dst_ep.node, now):
-                self._record("partition_drop", msg.src, msg.dst, msg.kind)
+                self._record(
+                    "partition_drop", msg.src, msg.dst, msg.kind,
+                    procs=(msg.src, msg.dst),
+                )
                 return WireFault(drop=True)
 
         drop = False
@@ -192,14 +209,21 @@ class FaultInjector:
                         self._wire_rng.random()
                     )
         if drop:
-            self._record("drop", msg.src, msg.dst, msg.kind)
+            self._record(
+                "drop", msg.src, msg.dst, msg.kind, procs=(msg.src, msg.dst)
+            )
             return WireFault(drop=True)
         if copies == 0 and extra_delay == 0.0:
             return None
         if copies:
-            self._record("duplicate", msg.src, msg.dst, msg.kind, copies)
+            self._record(
+                "duplicate", msg.src, msg.dst, msg.kind, copies,
+                procs=(msg.src, msg.dst),
+            )
         if extra_delay:
-            self._record("delay", msg.src, msg.dst, msg.kind)
+            self._record(
+                "delay", msg.src, msg.dst, msg.kind, procs=(msg.src, msg.dst)
+            )
         return WireFault(copies=copies, extra_delay=extra_delay)
 
     def on_rdma(self, ini_ep: "Endpoint", rem_ep: "Endpoint") -> bool:
@@ -209,7 +233,10 @@ class FaultInjector:
         now = self.sim.now
         for window in self.plan.partitions:
             if window.severs(ini_ep.node, rem_ep.node, now):
-                self._record("rdma_severed", ini_ep.addr, rem_ep.addr)
+                self._record(
+                    "rdma_severed", ini_ep.addr, rem_ep.addr,
+                    procs=(ini_ep.addr, rem_ep.addr),
+                )
                 return True
         return False
 
@@ -231,7 +258,9 @@ class FaultInjector:
             ):
                 action = action or HandlerAction()
                 action.stall += rule.stall
-                self._record("handler_stall", mi.addr, handle.rpc_name)
+                self._record(
+                    "handler_stall", mi.addr, handle.rpc_name, procs=(mi.addr,)
+                )
             if (
                 rule.error_probability > 0
                 and self._handler_rng.random() < rule.error_probability
@@ -241,7 +270,9 @@ class FaultInjector:
                     action.error = InjectedHandlerError(
                         f"injected fault in {handle.rpc_name!r} on {mi.addr!r}"
                     )
-                self._record("handler_error", mi.addr, handle.rpc_name)
+                self._record(
+                    "handler_error", mi.addr, handle.rpc_name, procs=(mi.addr,)
+                )
         return action
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

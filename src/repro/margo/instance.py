@@ -89,8 +89,6 @@ class ProcessStats:
 class MargoInstance:
     """One Mochi process: Margo + Mercury + Argobots + endpoint."""
 
-    _req_seq = itertools.count(1)
-
     def __init__(
         self,
         sim: Simulator,
@@ -149,6 +147,11 @@ class MargoInstance:
         self.stats = ProcessStats(self)
         #: Lamport logical clock for distributed tracing.
         self.lamport = 0
+        #: Request-id sequence, scoped per instance (a class-global
+        #: counter here leaked across runs in one interpreter, making
+        #: same-seed runs export different request ids).  The ``addr``
+        #: prefix keeps ids unique within a cluster.
+        self._req_seq = itertools.count(1)
 
         self._handlers: dict[tuple[str, int], Callable] = {}
         self._arrival_installed: set[str] = set()
@@ -185,7 +188,7 @@ class MargoInstance:
         return self.lamport
 
     def next_request_id(self) -> str:
-        return f"{self.addr}-{next(MargoInstance._req_seq)}"
+        return f"{self.addr}-{next(self._req_seq)}"
 
     # -- registration ----------------------------------------------------------
 

@@ -202,6 +202,10 @@ class HGCore:
         self._posted: dict[int, tuple[HGHandle, Callable]] = {}
         self._cancelled: set[int] = set()
         self._completion_queue: deque = deque()
+        #: Optional progress observer (duck-typed; the online monitor):
+        #: called ``observer(now, n_events_read)`` after every progress
+        #: iteration, including empty ones.
+        self.progress_observer = None
         self.pvars = PvarRegistry()
         self._define_pvars()
 
@@ -530,12 +534,14 @@ class HGCore:
         ep = self.endpoint
         if ep.cq_depth == 0:
             if timeout <= 0:
+                self._note_progress(0)
                 return 0
             ev = self.abt.eventual("hg.progress")
             disarm = ep.arm(ev.signal)
             ok, _ = yield from ev.wait(timeout=timeout)
             if not ok:
                 disarm()
+                self._note_progress(0)
                 return 0
         entries = ep.cq_read(self.ofi_max_events)
         n = len(entries)
@@ -545,7 +551,12 @@ class HGCore:
             self.pvars.watermark("min_ofi_events_read", n)
         for entry in entries:
             self._dispatch(entry)
+        self._note_progress(n)
         return n
+
+    def _note_progress(self, n: int) -> None:
+        if self.progress_observer is not None:
+            self.progress_observer(self.sim.now, n)
 
     def set_ofi_max_events(self, n: int) -> None:
         """Adjust the per-iteration OFI read cap at runtime."""

@@ -95,6 +95,12 @@ class Fabric:
         self.total_bytes = 0
         self.total_dropped = 0
         self.total_duplicated = 0
+        #: Bytes currently on the wire (sent but not yet delivered).
+        #: Only maintained when ``track_inflight`` is set (the online
+        #: monitor enables it) -- tracking schedules one extra noop
+        #: event per delivery, so it is opt-in.
+        self.track_inflight = False
+        self.inflight_bytes = 0
 
     # -- endpoint registry --------------------------------------------------
 
@@ -196,8 +202,14 @@ class Fabric:
                 dst_ep.push,
                 CQEntry(kind=CQKind.RECV, payload=msg, enqueued_at=at),
             )
+            if self.track_inflight:
+                self.inflight_bytes += msg.size_bytes
+                self.sim.call_at(at, self._dec_inflight, msg.size_bytes)
             deliver_at = min(deliver_at, at)
         return deliver_at
+
+    def _dec_inflight(self, nbytes: int) -> None:
+        self.inflight_bytes -= nbytes
 
     # -- one-sided RDMA ------------------------------------------------------------
 
@@ -249,6 +261,9 @@ class Fabric:
                 ini_ep.push,
                 CQEntry(kind=CQKind.RDMA_COMPLETE, payload=payload, enqueued_at=done_at),
             )
+        if self.track_inflight:
+            self.inflight_bytes += size_bytes
+            self.sim.call_at(done_at, self._dec_inflight, size_bytes)
         return done_at
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,7 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..tracing import EventKind, TraceEvent
+from ..tracing import EventKind, FaultAnnotation, TraceEvent
 
 __all__ = [
     "Span",
@@ -55,6 +55,11 @@ class Span:
     t14: Optional[float] = None
     events: list[TraceEvent] = field(default_factory=list)
     children: list["Span"] = field(default_factory=list)
+    #: Injected faults that fired on this span's origin/target process
+    #: inside its observed time window -- the attribution that separates
+    #: "latency spike caused by an injected fault" from emergent
+    #: queueing.  Empty without a fault plan.
+    faults: list[FaultAnnotation] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -115,6 +120,21 @@ class TraceSummary:
     requests: dict[str, RequestTrace]
     clock_offsets: dict[str, float]
     total_events: int
+    #: Every fault annotation recorded during the run (firing order).
+    annotations: list[FaultAnnotation] = field(default_factory=list)
+
+    def spans_with_faults(self) -> list[Span]:
+        """Spans whose window covers at least one injected fault on an
+        involved process, slowest first."""
+        hit = [
+            s
+            for req in self.requests.values()
+            for root in req.roots
+            for s in root.walk()
+            if s.faults
+        ]
+        hit.sort(key=lambda s: -(s.duration or 0.0))
+        return hit
 
     def slowest(self, n: int = 10) -> list[RequestTrace]:
         return sorted(
@@ -140,6 +160,11 @@ class TraceSummary:
             lines.append(
                 f"{req.request_id:<24} {req.end_to_end_latency * 1e3:>10.4f}ms "
                 f"{len(req.spans):>6}"
+            )
+        if self.annotations:
+            lines.append(
+                f"injected faults: {len(self.annotations)}   "
+                f"spans attributed: {len(self.spans_with_faults())}"
             )
         return "\n".join(lines)
 
@@ -199,9 +224,39 @@ def estimate_clock_offsets(events: list[TraceEvent]) -> dict[str, float]:
     return offsets
 
 
-def stitch_traces(events: list[TraceEvent]) -> TraceSummary:
+def _attribute_faults(
+    spans: dict[int, Span],
+    annotations_by_process: dict[str, list[FaultAnnotation]],
+) -> None:
+    """Attach each fault annotation to every span whose observed
+    [first-event, last-event] true-time window covers it on an involved
+    process.  Completed-but-slow spans (wire delays, handler stalls,
+    duplicates) attribute exactly; spans killed outright by a fault
+    never complete and stay unattributed by design."""
+    for span in spans.values():
+        if not span.events:
+            continue
+        start = min(ev.true_ts for ev in span.events)
+        end = max(ev.true_ts for ev in span.events)
+        procs = {span.origin_process, span.target_process} - {""}
+        for proc in sorted(procs):
+            for ann in annotations_by_process.get(proc, ()):
+                if start <= ann.time <= end:
+                    span.faults.append(ann)
+        span.faults.sort(key=lambda a: (a.time, a.kind, a.detail))
+
+
+def stitch_traces(
+    events: list[TraceEvent],
+    annotations_by_process: Optional[dict[str, list[FaultAnnotation]]] = None,
+) -> TraceSummary:
     """Group events into spans and spans into request trees, with
-    skew-corrected timestamps."""
+    skew-corrected timestamps.
+
+    ``annotations_by_process`` (as returned by
+    ``SymbiosysCollector.annotations_by_process``) enables fault
+    attribution: each injected-fault annotation is attached to the spans
+    whose window covers it (see :attr:`Span.faults`)."""
     offsets = estimate_clock_offsets(events)
 
     spans: dict[int, Span] = {}
@@ -256,14 +311,32 @@ def stitch_traces(events: list[TraceEvent]) -> TraceSummary:
             request_id=request_id, roots=roots, spans=index
         )
 
+    annotations: list[FaultAnnotation] = []
+    if annotations_by_process:
+        _attribute_faults(spans, annotations_by_process)
+        # Wire faults are recorded into both endpoints' buffers; the
+        # flat view dedupes them (FaultAnnotation is frozen/hashable).
+        annotations = sorted(
+            {a for anns in annotations_by_process.values() for a in anns},
+            key=lambda a: (a.time, a.kind, a.detail),
+        )
+
     return TraceSummary(
-        requests=requests, clock_offsets=offsets, total_events=len(events)
+        requests=requests,
+        clock_offsets=offsets,
+        total_events=len(events),
+        annotations=annotations,
     )
 
 
 def trace_summary(collector) -> TraceSummary:
-    """Stitch everything the collector gathered."""
-    return stitch_traces(collector.all_events())
+    """Stitch everything the collector gathered, including any fault
+    annotations the injector recorded into the per-process buffers."""
+    by_process = getattr(collector, "annotations_by_process", None)
+    return stitch_traces(
+        collector.all_events(),
+        annotations_by_process=by_process() if by_process is not None else None,
+    )
 
 
 # -- figure-extraction helpers -------------------------------------------------

@@ -14,7 +14,7 @@ from .callpath import CallpathRegistry
 from .instrument import SymbiosysInstrumentation
 from .profiling import ProfileStore
 from .stages import Stage
-from .tracing import TraceEvent
+from .tracing import FaultAnnotation, SpanIdAllocator, TraceEvent
 
 __all__ = ["SymbiosysCollector"]
 
@@ -25,10 +25,16 @@ class SymbiosysCollector:
     def __init__(self, stage: Stage = Stage.FULL):
         self.stage = stage
         self.registry = CallpathRegistry()
+        #: One span-id counter per run: ids are unique across this run's
+        #: processes and restart at 1 for every collector, so same-seed
+        #: runs export identical span ids.
+        self.span_ids = SpanIdAllocator()
         self.instruments: list[SymbiosysInstrumentation] = []
 
     def create_instrumentation(self) -> SymbiosysInstrumentation:
-        instr = SymbiosysInstrumentation(self.stage, self.registry)
+        instr = SymbiosysInstrumentation(
+            self.stage, self.registry, span_ids=self.span_ids
+        )
         self.instruments.append(instr)
         return instr
 
@@ -75,6 +81,23 @@ class SymbiosysCollector:
             if instr.trace is not None:
                 out[instr.trace.process] = list(instr.trace.events)
         return out
+
+    def all_annotations(self) -> list[FaultAnnotation]:
+        """Every fault annotation recorded into any process's trace
+        buffer, in firing order (stable across same-seed runs)."""
+        anns: list[FaultAnnotation] = []
+        for instr in self.instruments:
+            if instr.trace is not None:
+                anns.extend(instr.trace.annotations)
+        anns.sort(key=lambda a: (a.time, a.kind, a.detail))
+        return anns
+
+    def annotations_by_process(self) -> dict[str, list[FaultAnnotation]]:
+        return {
+            instr.trace.process: list(instr.trace.annotations)
+            for instr in self.instruments
+            if instr.trace is not None
+        }
 
     @property
     def total_trace_events(self) -> int:

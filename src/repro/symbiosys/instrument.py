@@ -24,7 +24,7 @@ from ..margo.hooks import Instrumentation
 from .callpath import CallpathRegistry, push
 from .profiling import ProfileKey, ProfileStore
 from .stages import Stage
-from .tracing import EventKind, TraceBuffer, TraceEvent, new_span_id
+from .tracing import EventKind, SpanIdAllocator, TraceBuffer, TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..argobots import ULT
@@ -57,9 +57,19 @@ _TARGET_HANDLE_PVARS = (
 class SymbiosysInstrumentation(Instrumentation):
     """Per-process instrumentation state + hook implementations."""
 
-    def __init__(self, stage: Stage, registry: CallpathRegistry):
+    def __init__(
+        self,
+        stage: Stage,
+        registry: CallpathRegistry,
+        span_ids: Optional[SpanIdAllocator] = None,
+    ):
         self.stage = stage
         self.registry = registry
+        #: Run-scoped span-id source -- shared across the run's processes
+        #: when handed out by a collector, private otherwise.  Never a
+        #: module global (span ids appear in exports and must be
+        #: identical across same-seed runs).
+        self.span_ids = span_ids if span_ids is not None else SpanIdAllocator()
         self.process: Optional[str] = None
         self.mi: Optional["MargoInstance"] = None
         self.origin_profile = ProfileStore()
@@ -153,7 +163,7 @@ class SymbiosysInstrumentation(Instrumentation):
         parent_code = ult.local.get("callpath", 0) if ult is not None else 0
         code = push(parent_code, handle.rpc_name)
         ctx = self._ctx(ult, mi, new_request=True)
-        span_id = new_span_id()
+        span_id = self.span_ids()
         parent_span = ult.local.get("span_id") if ult is not None else None
         lamport = mi.lamport_tick()
         order = self._take_order(ctx)

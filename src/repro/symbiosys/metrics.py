@@ -1,0 +1,288 @@
+"""Online metrics primitives for the always-on telemetry layer.
+
+SYMBIOSYS's pitch is *always-on, low-overhead* measurement, yet the
+original workflow is post-mortem: profiles and traces materialize after
+the run.  This module is the in-flight half: a small, fully deterministic
+metrics vocabulary (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`) behind a :class:`MetricsRegistry`, plus bounded
+ring-buffer :class:`TimeSeries` the
+:class:`~repro.symbiosys.monitor.Monitor` fills while the simulation is
+still running.
+
+Design constraints (all load-bearing for the determinism tests):
+
+* No wall-clock reads anywhere -- every sample is stamped with the
+  *simulated* time handed in by the caller.
+* Bounded memory -- time-series are ring buffers; once full they drop
+  the oldest sample and count the loss instead of growing.
+* Deterministic iteration -- registries and stores render their contents
+  in sorted ``(name, labels)`` order so exports are byte-stable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SeriesStore",
+    "TimeSeries",
+]
+
+#: Default histogram bucket upper bounds (queue depths / event counts).
+DEFAULT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: Optional[dict[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically non-decreasing value (Prometheus ``counter``)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, delta: float = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += delta
+
+    def set_total(self, total: float) -> None:
+        """Adopt an externally maintained cumulative total (e.g. a
+        COUNTER-class PVAR sampled by the monitor)."""
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name!r} cannot go backward "
+                f"({total} < {self.value})"
+            )
+        self.value = total
+
+
+class Gauge:
+    """Instantaneous value that may go up or down."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, delta: float = 1) -> None:
+        self.value += delta
+
+    def dec(self, delta: float = 1) -> None:
+        self.value -= delta
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus ``histogram``).
+
+    ``bounds`` are upper bucket edges; an implicit ``+Inf`` bucket
+    catches the rest.  Counts, sum, and bucket layout are all plain
+    integers/floats -- no randomness, no wall clock.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        bounds: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        if len(set(self.bounds)) != len(self.bounds):
+            raise ValueError("histogram bounds must be distinct")
+        #: Per-bucket (non-cumulative) counts; index len(bounds) is +Inf.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``inf`` last --
+        the ``_bucket{le=...}`` series of the Prometheus exposition."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+
+Metric = Any  # Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metrics keyed by ``(name, labels)``.
+
+    One metric *family* (name) has one type and one help string; label
+    sets distinguish instances (typically ``{"process": addr}``).
+    Iteration order is sorted, so rendering the registry is
+    deterministic regardless of creation order.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelItems], Metric] = {}
+        #: name -> (type string, help string)
+        self._families: dict[str, tuple[str, str]] = {}
+
+    # -- creation ---------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str) -> None:
+        existing = self._families.get(name)
+        if existing is None:
+            self._families[name] = (kind, help)
+        elif existing[0] != kind:
+            raise ValueError(
+                f"metric {name!r} is a {existing[0]}, not a {kind}"
+            )
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[dict] = None
+    ) -> Counter:
+        self._family(name, "counter", help)
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Counter(name, key[1])
+        return metric
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[dict] = None
+    ) -> Gauge:
+        self._family(name, "gauge", help)
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Gauge(name, key[1])
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[dict] = None,
+        bounds: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        self._family(name, "histogram", help)
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(name, key[1], bounds)
+        return metric
+
+    # -- introspection ----------------------------------------------------
+
+    def family_info(self, name: str) -> tuple[str, str]:
+        return self._families[name]
+
+    def families(self) -> list[str]:
+        return sorted(self._families)
+
+    def collect(self) -> Iterator[tuple[str, str, str, list[Metric]]]:
+        """Yield ``(name, kind, help, metrics)`` per family, sorted by
+        family name, metrics sorted by labels."""
+        by_family: dict[str, list[Metric]] = {}
+        for (name, _labels), metric in self._metrics.items():
+            by_family.setdefault(name, []).append(metric)
+        for name in sorted(by_family):
+            kind, help = self._families[name]
+            metrics = sorted(by_family[name], key=lambda m: m.labels)
+            yield name, kind, help, metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class TimeSeries:
+    """A bounded ``(time, value)`` ring buffer for one metric instance.
+
+    Appending past capacity evicts the oldest sample and increments
+    :attr:`dropped`; the window always holds the *latest* ``capacity``
+    samples, which is what live monitoring wants.
+    """
+
+    __slots__ = ("name", "labels", "capacity", "dropped", "_buf", "_head")
+
+    def __init__(self, name: str, labels: LabelItems = (), capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("time-series capacity must be positive")
+        self.name = name
+        self.labels = labels
+        self.capacity = capacity
+        self.dropped = 0
+        self._buf: list[tuple[float, float]] = []
+        self._head = 0  # index of the oldest sample once wrapped
+
+    def append(self, t: float, value: float) -> None:
+        if len(self._buf) < self.capacity:
+            self._buf.append((t, value))
+        else:
+            self._buf[self._head] = (t, value)
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def samples(self) -> list[tuple[float, float]]:
+        """Chronological ``(time, value)`` list of the retained window."""
+        return self._buf[self._head :] + self._buf[: self._head]
+
+    def latest(self) -> Optional[tuple[float, float]]:
+        if not self._buf:
+            return None
+        return self._buf[self._head - 1]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class SeriesStore:
+    """All time-series of one monitor, keyed like registry metrics."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._series: dict[tuple[str, LabelItems], TimeSeries] = {}
+
+    def series(self, name: str, labels: Optional[dict] = None) -> TimeSeries:
+        key = (name, _label_items(labels))
+        ts = self._series.get(key)
+        if ts is None:
+            ts = self._series[key] = TimeSeries(name, key[1], self.capacity)
+        return ts
+
+    def all_series(self) -> list[TimeSeries]:
+        """Every series, sorted by ``(name, labels)`` for stable export."""
+        return [self._series[key] for key in sorted(self._series)]
+
+    @property
+    def total_samples(self) -> int:
+        return sum(len(ts) for ts in self._series.values())
+
+    def __len__(self) -> int:
+        return len(self._series)

@@ -1,0 +1,575 @@
+"""Online monitoring: the always-on half of SYMBIOSYS.
+
+The paper's workflow is post-mortem (profiles and traces consolidate
+after the run); this module watches the run *while it unfolds*.  A
+:class:`Monitor` attaches to the same seams the instrumentation layer
+uses and drives a sim-clock-periodic :class:`PeriodicSampler` that
+snapshots, per process:
+
+* every NO_OBJECT Mercury PVAR (Table I classes, resilience gauges
+  included),
+* Argobots pool depths, blocked/ready/running ULT counts, and the
+  execution-stream busy fraction,
+* process memory and fabric-wide in-flight bytes,
+
+into :class:`~repro.symbiosys.metrics.MetricsRegistry` metrics and
+bounded ring-buffer time-series.  A :class:`SchedRecorder` hooks the
+Argobots execution streams and records every ULT run slice (and the
+block interval between slices) for the Perfetto timeline, and pluggable
+:class:`AnomalyDetector` s evaluate each snapshot and emit timestamped
+:class:`Finding` s during the run.
+
+Everything here is deterministic: sampling ticks ride the simulator's
+event queue (so they interleave identically for identical seeds), no
+wall clock is ever read, and nothing exported contains process-global
+counter artifacts (ULT ids, HG cookies).  Sampler callbacks are pure
+observers -- they read simulator state but add no simulated cost, so the
+simulated makespan of a monitored run equals the unmonitored one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..config import Replaceable
+from ..mercury.pvar import PvarBinding, PvarClass
+from .metrics import MetricsRegistry, SeriesStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..argobots import ULT
+    from ..argobots.xstream import ExecutionStream
+    from ..margo import MargoInstance
+    from ..net import Fabric
+    from ..sim import Simulator
+
+__all__ = [
+    "AnomalyDetector",
+    "Finding",
+    "ForwardTimeoutBurstDetector",
+    "Monitor",
+    "MonitorConfig",
+    "PeriodicSampler",
+    "ProgressStarvationDetector",
+    "QueueDepthWatermarkDetector",
+    "SchedRecorder",
+    "SchedSlice",
+]
+
+
+@dataclass(frozen=True, kw_only=True)
+class MonitorConfig(Replaceable):
+    """Configuration of one :class:`Monitor`.
+
+    ``detectors`` selects the built-in anomaly detectors by name;
+    ``detector_factories`` appends arbitrary extra detectors (each
+    factory is called with this config and must return an
+    :class:`AnomalyDetector`).
+    """
+
+    #: Sampling period on the *simulated* clock, seconds.
+    interval: float = 100e-6
+    #: Ring-buffer capacity of each metric time-series.
+    ring_capacity: int = 4096
+    #: Cap on recorded scheduler slices (run + block), monitor-wide.
+    sched_slice_capacity: int = 65536
+    #: Progress-ULT starvation: a process with completion-queue backlog
+    #: but no progress-loop iteration for this long is starved.
+    starvation_threshold: float = 0.5e-3
+    #: Handler-pool queue depth that trips the watermark detector.
+    queue_watermark: int = 8
+    #: Forward-timeout burst: this many timeouts ...
+    timeout_burst_count: int = 3
+    #: ... within this window, seconds.
+    timeout_burst_window: float = 1e-3
+    #: Built-in detectors to arm.
+    detectors: tuple[str, ...] = ("starvation", "queue_depth", "timeout_burst")
+    #: Extra detector factories: ``factory(config) -> AnomalyDetector``.
+    detector_factories: tuple[Callable, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("monitor interval must be positive")
+        if self.ring_capacity < 1:
+            raise ValueError("ring_capacity must be positive")
+        if self.sched_slice_capacity < 1:
+            raise ValueError("sched_slice_capacity must be positive")
+        unknown = set(self.detectors) - set(_BUILTIN_DETECTORS)
+        if unknown:
+            raise ValueError(f"unknown detectors: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One anomaly observed during the run."""
+
+    time: float
+    detector: str
+    process: str
+    message: str
+    value: float = 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "time": f"{self.time * 1e3:.6f}ms",
+            "detector": self.detector,
+            "process": self.process,
+            "finding": self.message,
+        }
+
+
+class AnomalyDetector:
+    """Base class: evaluate one telemetry snapshot, return findings.
+
+    Detectors are *edge-triggered*: they report an anomaly when it
+    begins (and may report recovery), not once per sample while it
+    persists.  ``on_sample`` runs inside the sampler tick, so it must be
+    a pure observer -- read state, never mutate the workload.
+    """
+
+    name = "anomaly"
+
+    def on_sample(
+        self, t: float, monitor: "Monitor"
+    ) -> list[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ProgressStarvationDetector(AnomalyDetector):
+    """The Mercury progress ULT stopped turning the crank.
+
+    Fires when a process has completion-queue backlog but its progress
+    loop has not run for ``starvation_threshold`` seconds (an execution
+    stream monopolized by compute, a hung process, a slow restart), or
+    when the process is down entirely (crash -- the progress loop is
+    gone and peers see only silence).  Clears when progress resumes.
+    """
+
+    name = "progress_starvation"
+
+    def __init__(self, config: MonitorConfig):
+        self.threshold = config.starvation_threshold
+        self._starved: set[str] = set()
+
+    def on_sample(self, t: float, monitor: "Monitor") -> list[Finding]:
+        findings = []
+        for addr, mi in monitor.iter_processes():
+            last = monitor.last_progress.get(addr, 0.0)
+            backlog = mi.endpoint.cq_depth
+            down = mi.crashed
+            starved = down or (backlog > 0 and t - last >= self.threshold)
+            if starved and addr not in self._starved:
+                self._starved.add(addr)
+                if down:
+                    msg = "progress loop halted (process down)"
+                else:
+                    msg = (
+                        f"no progress for {(t - last) * 1e3:.3f} ms "
+                        f"with {backlog} queued completions"
+                    )
+                findings.append(
+                    Finding(t, self.name, addr, msg, value=t - last)
+                )
+            elif not starved and addr in self._starved:
+                self._starved.discard(addr)
+                findings.append(
+                    Finding(t, self.name, addr, "progress resumed")
+                )
+        return findings
+
+
+class QueueDepthWatermarkDetector(AnomalyDetector):
+    """Handler-pool queue depth crossed the configured watermark.
+
+    The Figure 9 pathology (too few execution streams) as a live alarm.
+    Edge-triggered with hysteresis: re-arms once the depth falls to half
+    the watermark.
+    """
+
+    name = "handler_queue_depth"
+
+    def __init__(self, config: MonitorConfig):
+        self.watermark = config.queue_watermark
+        self._over: set[str] = set()
+
+    def on_sample(self, t: float, monitor: "Monitor") -> list[Finding]:
+        findings = []
+        for addr, mi in monitor.iter_processes():
+            depth = len(mi.handler_pool)
+            if depth >= self.watermark and addr not in self._over:
+                self._over.add(addr)
+                findings.append(
+                    Finding(
+                        t,
+                        self.name,
+                        addr,
+                        f"handler pool depth {depth} >= watermark "
+                        f"{self.watermark}",
+                        value=depth,
+                    )
+                )
+            elif depth <= self.watermark // 2 and addr in self._over:
+                self._over.discard(addr)
+                findings.append(
+                    Finding(
+                        t,
+                        self.name,
+                        addr,
+                        f"handler pool drained to {depth}",
+                        value=depth,
+                    )
+                )
+        return findings
+
+
+class ForwardTimeoutBurstDetector(AnomalyDetector):
+    """A burst of forward timeouts -- the client-side symptom of a dead
+    or partitioned peer.  Watches the ``num_forward_timeouts`` resilience
+    gauge and fires when it grows by ``timeout_burst_count`` within
+    ``timeout_burst_window`` seconds; re-arms after a quiet window.
+    """
+
+    name = "forward_timeout_burst"
+
+    def __init__(self, config: MonitorConfig):
+        self.count = config.timeout_burst_count
+        self.window = config.timeout_burst_window
+        self._last_total: dict[str, int] = {}
+        #: Per process: (time, delta) increments inside the window.
+        self._recent: dict[str, list[tuple[float, int]]] = {}
+        self._bursting: set[str] = set()
+
+    def on_sample(self, t: float, monitor: "Monitor") -> list[Finding]:
+        findings = []
+        for addr, mi in monitor.iter_processes():
+            total = mi.hg.pvars.raw_value("num_forward_timeouts")
+            delta = total - self._last_total.get(addr, 0)
+            self._last_total[addr] = total
+            recent = self._recent.setdefault(addr, [])
+            if delta > 0:
+                recent.append((t, delta))
+            while recent and recent[0][0] < t - self.window:
+                recent.pop(0)
+            in_window = sum(d for _, d in recent)
+            if in_window >= self.count and addr not in self._bursting:
+                self._bursting.add(addr)
+                findings.append(
+                    Finding(
+                        t,
+                        self.name,
+                        addr,
+                        f"{in_window} forward timeouts within "
+                        f"{self.window * 1e3:.3f} ms",
+                        value=in_window,
+                    )
+                )
+            elif not recent and addr in self._bursting:
+                self._bursting.discard(addr)
+                findings.append(
+                    Finding(t, self.name, addr, "timeout burst subsided")
+                )
+        return findings
+
+
+_BUILTIN_DETECTORS: dict[str, Callable[[MonitorConfig], AnomalyDetector]] = {
+    "starvation": ProgressStarvationDetector,
+    "queue_depth": QueueDepthWatermarkDetector,
+    "timeout_burst": ForwardTimeoutBurstDetector,
+}
+
+
+@dataclass(frozen=True)
+class SchedSlice:
+    """One scheduler interval of one ULT on one execution stream.
+
+    ``kind`` is ``"run"`` (the ULT held the ES) or ``"block"`` (the ULT
+    sat blocked on an eventual between two run slices).  ``reason`` says
+    why a run slice ended: ``"end"`` (terminated), ``"block"``,
+    ``"yield"``, or ``"preempt"`` (exception unwound through the ES).
+    All fields are deterministic -- ULT *names* are stable across runs,
+    ULT ids are not and are deliberately absent.
+    """
+
+    process: str
+    es: str
+    ult: str
+    kind: str
+    start: float
+    end: float
+    reason: str = ""
+
+
+class SchedRecorder:
+    """The ``sched_observer`` installed on each process's AbtRuntime.
+
+    Records run slices as the execution streams report them and
+    synthesizes the block slice between a ULT blocking and its next
+    dispatch.  Bounded: past ``capacity`` slices it counts drops instead
+    of growing.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self.capacity = capacity
+        self.slices: list[SchedSlice] = []
+        self.dropped = 0
+        #: ULT object -> time its last run slice ended with a block.
+        self._blocked_at: dict = {}
+
+    def _push(self, s: SchedSlice) -> None:
+        if len(self.slices) < self.capacity:
+            self.slices.append(s)
+        else:
+            self.dropped += 1
+
+    def on_slice(
+        self, es: "ExecutionStream", ult: "ULT", start: float, end: float
+    ) -> None:
+        """Called by the ES when a ULT leaves it (xstream hook)."""
+        from ..argobots.ult import UltState
+
+        blocked_since = self._blocked_at.pop(ult, None)
+        if blocked_since is not None:
+            self._push(
+                SchedSlice(
+                    process=es.runtime.name,
+                    es=es.name,
+                    ult=ult.name,
+                    kind="block",
+                    start=blocked_since,
+                    end=start,
+                )
+            )
+        if ult.state is UltState.TERMINATED:
+            reason = "end"
+        elif ult.state is UltState.BLOCKED:
+            reason = "block"
+            self._blocked_at[ult] = end
+        elif ult.state is UltState.READY:
+            reason = "yield"
+        else:
+            reason = "preempt"
+        self._push(
+            SchedSlice(
+                process=es.runtime.name,
+                es=es.name,
+                ult=ult.name,
+                kind="run",
+                start=start,
+                end=end,
+                reason=reason,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+
+class PeriodicSampler:
+    """Drives :meth:`Monitor.sample` every ``interval`` simulated
+    seconds by self-rescheduling on the simulator's event queue."""
+
+    def __init__(self, sim: "Simulator", interval: float, sample: Callable[[float], None]):
+        self.sim = sim
+        self.interval = interval
+        self._sample = sample
+        self.ticks = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.call_at(self.sim.now + self.interval, self._tick)
+
+    def stop(self) -> None:
+        # A tick already in the queue fires once more as a no-op.
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self._sample(self.sim.now)
+        self.sim.call_at(self.sim.now + self.interval, self._tick)
+
+
+class Monitor:
+    """The online telemetry hub for one simulated cluster.
+
+    Wire it by hand (``attach`` each MargoInstance, then ``start()``)
+    or let :class:`~repro.cluster.Cluster` do it via
+    ``Cluster(monitoring=MonitorConfig(...))``.  ``stop()`` must run
+    before the final event-queue drain, or the sampler keeps the
+    simulation alive forever.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        config: Optional[MonitorConfig] = None,
+        *,
+        fabric: Optional["Fabric"] = None,
+    ):
+        self.sim = sim
+        self.config = config or MonitorConfig()
+        self.fabric = fabric
+        if fabric is not None:
+            fabric.track_inflight = True
+        self.registry = MetricsRegistry()
+        self.store = SeriesStore(self.config.ring_capacity)
+        self.sched = SchedRecorder(self.config.sched_slice_capacity)
+        self.findings: list[Finding] = []
+        #: addr -> simulated time of the last progress-loop iteration.
+        self.last_progress: dict[str, float] = {}
+        self._processes: dict[str, "MargoInstance"] = {}
+        self.detectors: list[AnomalyDetector] = [
+            _BUILTIN_DETECTORS[name](self.config)
+            for name in self.config.detectors
+        ]
+        self.detectors.extend(
+            factory(self.config) for factory in self.config.detector_factories
+        )
+        self.sampler = PeriodicSampler(sim, self.config.interval, self.sample)
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, mi: "MargoInstance") -> None:
+        """Adopt one process: hook its scheduler and progress loop."""
+        if mi.addr in self._processes:
+            raise ValueError(f"process {mi.addr!r} already monitored")
+        self._processes[mi.addr] = mi
+        mi.rt.sched_observer = self.sched
+        self.last_progress[mi.addr] = self.sim.now
+        mi.hg.progress_observer = (
+            lambda t, n, addr=mi.addr: self._on_progress(addr, t, n)
+        )
+
+    def iter_processes(self):
+        """Attached processes in attach order (deterministic)."""
+        return self._processes.items()
+
+    def _on_progress(self, addr: str, t: float, n: int) -> None:
+        self.last_progress[addr] = t
+        self.registry.counter(
+            "hg_progress_iterations",
+            "Progress-loop iterations completed",
+            labels={"process": addr},
+        ).inc()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.sampler.start()
+
+    def stop(self) -> None:
+        """Stop sampling and take one final snapshot.
+
+        Must happen before the teardown drain -- a self-rescheduling
+        sampler would otherwise keep the event queue non-empty forever.
+        """
+        if self.sampler._running:
+            self.sampler.stop()
+            self.sample(self.sim.now)
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self, t: float) -> None:
+        """Snapshot every watched quantity at simulated time ``t``."""
+        for addr, mi in self._processes.items():
+            labels = {"process": addr}
+            self._sample_pvars(t, mi, labels)
+            self._sample_tasking(t, mi, labels)
+        if self.fabric is not None:
+            self._record_gauge(
+                t,
+                "fabric_inflight_bytes",
+                "Bytes currently on the wire (sent, not yet delivered)",
+                None,
+                self.fabric.inflight_bytes,
+            )
+            self._record_counter(
+                t,
+                "fabric_total_bytes",
+                "Cumulative bytes injected into the fabric",
+                None,
+                self.fabric.total_bytes,
+            )
+        for detector in self.detectors:
+            self.findings.extend(detector.on_sample(t, self))
+
+    def _sample_pvars(self, t: float, mi: "MargoInstance", labels: dict) -> None:
+        pvars = mi.hg.pvars
+        for i in range(pvars.num_pvars):
+            d = pvars.info(i)
+            if d.binding is not PvarBinding.NO_OBJECT:
+                continue  # HANDLE-bound values have no global snapshot
+            value = pvars.raw_value(d.name)
+            if value is None:
+                continue  # LOWWATERMARK with no sample yet
+            name = f"pvar_{d.name}"
+            if d.pvar_class is PvarClass.COUNTER:
+                self._record_counter(t, name, d.description, labels, value)
+            else:
+                self._record_gauge(t, name, d.description, labels, value)
+
+    def _sample_tasking(self, t: float, mi: "MargoInstance", labels: dict) -> None:
+        rt = mi.rt
+        depth = len(mi.handler_pool)
+        self._record_gauge(
+            t, "abt_handler_pool_depth",
+            "ULTs queued in the handler pool", labels, depth,
+        )
+        self.registry.histogram(
+            "abt_handler_pool_depth_hist",
+            "Distribution of sampled handler-pool depths",
+            labels=labels,
+        ).observe(depth)
+        self._record_gauge(
+            t, "abt_num_ready",
+            "ULTs queued in pools, waiting for an ES", labels, rt.num_ready,
+        )
+        self._record_gauge(
+            t, "abt_num_blocked",
+            "ULTs blocked on an eventual or mutex", labels, rt.num_blocked,
+        )
+        self._record_gauge(
+            t, "abt_num_running",
+            "ULTs currently executing on an ES", labels, rt.num_running,
+        )
+        # busy_fraction() is a pure read; ProcessStats.cpu_utilization()
+        # would perturb the delta-sample state the trace layer shares.
+        self._record_gauge(
+            t, "abt_busy_fraction",
+            "Mean cumulative ES busy time over elapsed time", labels,
+            rt.busy_fraction(),
+        )
+        self._record_gauge(
+            t, "process_memory_bytes",
+            "Simulated process memory gauge", labels, mi.stats.memory_bytes,
+        )
+
+    def _record_gauge(self, t, name, help, labels, value) -> None:
+        self.registry.gauge(name, help, labels).set(value)
+        self.store.series(name, labels).append(t, value)
+
+    def _record_counter(self, t, name, help, labels, value) -> None:
+        self.registry.counter(name, help, labels).set_total(value)
+        self.store.series(name, labels).append(t, value)
+
+    # -- reporting ----------------------------------------------------------
+
+    def findings_report(self) -> str:
+        """Deterministic plain-text finding timeline."""
+        lines = [f"anomaly findings ({len(self.findings)}):"]
+        for f in self.findings:
+            lines.append(
+                f"  {f.time * 1e3:12.6f} ms  {f.detector:<24} "
+                f"{f.process:<14} {f.message}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Monitor(processes={len(self._processes)}, "
+            f"series={len(self.store)}, findings={len(self.findings)})"
+        )

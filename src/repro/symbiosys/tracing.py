@@ -22,13 +22,31 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["EventKind", "TraceEvent", "TraceBuffer", "new_span_id"]
+__all__ = [
+    "EventKind",
+    "FaultAnnotation",
+    "SpanIdAllocator",
+    "TraceBuffer",
+    "TraceEvent",
+]
 
-_span_ids = itertools.count(1)
 
+class SpanIdAllocator:
+    """Run-scoped span-id source.
 
-def new_span_id() -> int:
-    return next(_span_ids)
+    One allocator is owned by each
+    :class:`~repro.symbiosys.collector.SymbiosysCollector`, so span ids
+    restart from 1 for every run and same-seed runs produce identical
+    ids.  (A module-global ``itertools.count`` here used to leak ids
+    across consecutive runs in one interpreter, which broke byte-level
+    determinism of every export containing span ids.)
+    """
+
+    def __init__(self, start: int = 1):
+        self._ids = itertools.count(start)
+
+    def __call__(self) -> int:
+        return next(self._ids)
 
 
 class EventKind(enum.Enum):
@@ -62,15 +80,43 @@ class TraceEvent:
     sysstats: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class FaultAnnotation:
+    """One injected fault recorded into a process's trace stream.
+
+    Written by the :class:`~repro.faults.FaultInjector` for every
+    process a fired fault touches, so the trace analysis can attribute
+    latency spikes to injected faults instead of mislabelling them as
+    emergent queueing.
+    """
+
+    time: float
+    kind: str
+    #: Deterministic identifying details (addresses, rpc names) -- the
+    #: same tuple the injector's own event trace records.
+    detail: tuple = ()
+
+    def describe(self) -> str:
+        detail_s = " ".join(str(d) for d in self.detail)
+        return f"fault:{self.kind} {detail_s}".rstrip()
+
+
 class TraceBuffer:
-    """Per-process accumulation of trace events."""
+    """Per-process accumulation of trace events and fault annotations."""
 
     def __init__(self, process: str):
         self.process = process
         self.events: list[TraceEvent] = []
+        #: Injected faults that touched this process, in firing order.
+        self.annotations: list[FaultAnnotation] = []
 
     def append(self, event: TraceEvent) -> None:
         self.events.append(event)
+
+    def annotate(self, time: float, kind: str, detail: tuple = ()) -> None:
+        """Record one injected fault (duck-called by the injector, so
+        the faults layer needs no import of this module)."""
+        self.annotations.append(FaultAnnotation(time, kind, tuple(detail)))
 
     def __len__(self) -> int:
         return len(self.events)

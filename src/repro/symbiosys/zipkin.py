@@ -51,7 +51,18 @@ def span_to_zipkin(span: Span, trace_id: str) -> dict:
         annotations.append({"timestamp": int(span.t5 * _US), "value": "target ULT start (t5)"})
     if span.t8 is not None:
         annotations.append({"timestamp": int(span.t8 * _US), "value": "target respond (t8)"})
+    # Injected faults attributed to this span's window show up as
+    # timestamped annotations, so the Gantt chart explains its own
+    # latency spikes.  (Fault times are true sim time; the span's
+    # corrected timeline is close enough for display purposes.)
+    for ann in span.faults:
+        annotations.append(
+            {"timestamp": int(ann.time * _US), "value": ann.describe()}
+        )
+    if span.faults:
+        record["tags"]["faults"] = str(len(span.faults))
     if annotations:
+        annotations.sort(key=lambda a: (a["timestamp"], a["value"]))
         record["annotations"] = annotations
     # Fuse sampled PVARs from the completion event into tags.
     for ev in span.events:

@@ -1,0 +1,135 @@
+"""Chrome trace-event (Perfetto) export: schema validation and
+determinism.  The checks here encode the parts of the Trace Event
+Format that ``ui.perfetto.dev`` / ``chrome://tracing`` actually require
+to load a file: a ``traceEvents`` list, a valid ``ph`` per event,
+``ts``/``dur`` in microseconds, and balanced async begin/end pairs."""
+
+import json
+from collections import Counter
+
+from repro.symbiosys import Stage
+from repro.symbiosys.monitor import Monitor, MonitorConfig
+from repro.symbiosys.perfetto import chrome_trace_json, to_chrome_trace
+from .conftest import drive_requests, make_instrumented_world
+
+_VALID_PH = {"X", "b", "e", "i", "M"}
+
+FAULTS = [
+    (0.5e-3, "drop", "cli", "front", "rpc_request"),
+    (0.9e-3, "crash", "back"),
+]
+
+
+def run_monitored_world(n=3):
+    world = make_instrumented_world(Stage.FULL)
+    monitor = Monitor(world.sim, MonitorConfig(interval=50e-6), fabric=world.fabric)
+    for mi in (world.front, world.back, world.client):
+        monitor.attach(mi)
+    monitor.start()
+    results = drive_requests(world, n)
+    world.sim.run(until=1.0)
+    monitor.stop()
+    assert len(results) == n
+    world.monitor = monitor
+    return world
+
+
+def validate_schema(doc):
+    """Assert ``doc`` is structurally valid Trace Event Format JSON."""
+    assert isinstance(doc, dict)
+    assert isinstance(doc["traceEvents"], list)
+    async_tracks = {}
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in _VALID_PH, ev
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        assert isinstance(ev["name"], str) and ev["name"]
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert ev["args"]["name"]
+            continue
+        assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+        if ev["ph"] == "i":
+            assert ev["s"] in ("g", "p", "t")
+        if ev["ph"] in ("b", "e"):
+            assert "cat" in ev and "id" in ev
+            async_tracks.setdefault((ev["cat"], ev["id"]), []).append(ev)
+    # Every async id opens exactly once and closes exactly once, in order.
+    for key, evs in async_tracks.items():
+        phs = [e["ph"] for e in evs]
+        assert phs == ["b", "e"], (key, phs)
+        assert evs[0]["ts"] <= evs[1]["ts"], key
+
+
+def test_trace_is_valid_json_and_schema():
+    world = run_monitored_world()
+    text = chrome_trace_json(
+        monitor=world.monitor, collector=world.collector, fault_events=FAULTS
+    )
+    validate_schema(json.loads(text))
+
+
+def test_trace_contains_all_three_event_families():
+    world = run_monitored_world()
+    doc = to_chrome_trace(
+        monitor=world.monitor, collector=world.collector, fault_events=FAULTS
+    )
+    cats = Counter(ev.get("cat") for ev in doc["traceEvents"] if "cat" in ev)
+    assert cats["ult"] > 0          # scheduler run slices
+    assert cats["ult_block"] > 0    # blocked intervals
+    assert cats["rpc"] > 0          # t1..t14 / t5..t8 stage spans
+    assert cats["fault"] == len(FAULTS)
+    # Run slices land on real ES tracks; ULT names are the stable ones.
+    ult_names = {e["name"] for e in doc["traceEvents"] if e.get("cat") == "ult"}
+    assert "front.__margo_progress" in ult_names
+    assert any(n.startswith("front.h:front_op") for n in ult_names)
+
+
+def test_rpc_spans_cover_origin_and_target():
+    world = run_monitored_world(n=1)
+    doc = to_chrome_trace(monitor=world.monitor, collector=world.collector)
+    rpc_names = {e["name"] for e in doc["traceEvents"] if e.get("cat") == "rpc"}
+    # front_op: client-origin span plus the [target] half on front; the
+    # nested leaf_op spans stitch the same way one level down.
+    assert {"front_op", "front_op [target]", "leaf_op", "leaf_op [target]"} <= rpc_names
+    origin = next(
+        e for e in doc["traceEvents"]
+        if e.get("cat") == "rpc" and e["name"] == "front_op" and e["ph"] == "b"
+    )
+    assert origin["args"]["span_id"] >= 1
+    assert origin["args"]["request_id"].startswith("cli-")
+
+
+def test_pid_tid_metadata_is_deterministic():
+    def dump():
+        world = run_monitored_world()
+        return chrome_trace_json(
+            monitor=world.monitor, collector=world.collector, fault_events=FAULTS
+        )
+
+    assert dump() == dump()
+
+
+def test_fault_instants_on_dedicated_process():
+    world = run_monitored_world()
+    doc = to_chrome_trace(monitor=world.monitor, fault_events=FAULTS)
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == len(FAULTS)
+    for ev in instants:
+        assert meta[ev["pid"]] == "fault injector"
+        assert ev["name"].startswith("fault:")
+    crash = next(e for e in instants if e["name"] == "fault:crash")
+    assert crash["args"]["detail"] == "back"
+    assert crash["ts"] == 900.0  # 0.9 ms in microseconds
+
+
+def test_empty_sources_yield_empty_but_valid_trace():
+    doc = to_chrome_trace()
+    validate_schema(doc)
+    assert doc["traceEvents"] == []

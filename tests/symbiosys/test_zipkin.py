@@ -1,0 +1,93 @@
+"""Zipkin v2 JSON export: round-trips, required fields, and cross-
+process parent/child stitching (satellite of the observability PR)."""
+
+import json
+
+from repro.symbiosys import FaultAnnotation, Stage
+from repro.symbiosys.analysis import trace_summary
+from repro.symbiosys.zipkin import span_to_zipkin, to_zipkin_json
+from .conftest import drive_requests, make_instrumented_world
+
+#: Fields Zipkin v2 requires (or the UI effectively requires) per span.
+_REQUIRED = ("traceId", "id", "name", "timestamp", "localEndpoint")
+
+
+def run_summary(n=2):
+    world = make_instrumented_world(Stage.FULL)
+    results = drive_requests(world, n)
+    world.sim.run(until=1.0)
+    assert len(results) == n
+    return trace_summary(world.collector)
+
+
+def test_zipkin_round_trips_through_json():
+    summary = run_summary()
+    text = to_zipkin_json(summary.requests.values())
+    spans = json.loads(text)
+    assert isinstance(spans, list) and spans
+    # 3 spans per request: front_op + two nested leaf_op calls.
+    assert len(spans) == 3 * len(summary.requests)
+    # Serialization is deterministic.
+    assert text == to_zipkin_json(summary.requests.values())
+
+
+def test_zipkin_spans_carry_required_v2_fields():
+    spans = json.loads(to_zipkin_json(run_summary().requests.values()))
+    for span in spans:
+        for field in _REQUIRED:
+            assert field in span, f"span missing {field}"
+        assert len(span["traceId"]) == 16
+        assert len(span["id"]) == 16
+        int(span["id"], 16)  # hex-encoded
+        assert span["kind"] == "CLIENT"
+        assert isinstance(span["timestamp"], int)
+        assert span["duration"] >= 1  # Zipkin rejects 0-duration spans
+        assert span["localEndpoint"]["serviceName"]
+        assert span["tags"]["callpath"].startswith("0x")
+
+
+def test_zipkin_parent_child_stitching_across_processes():
+    summary = run_summary(n=1)
+    spans = json.loads(to_zipkin_json(summary.requests.values()))
+    roots = [s for s in spans if "parentId" not in s]
+    children = [s for s in spans if "parentId" in s]
+    assert len(roots) == 1 and len(children) == 2
+    root = roots[0]
+    # The root originates at the client and targets the front service;
+    # its children originate at front (a different process) and target
+    # back -- the cross-process stitch the paper's Figure 5 shows.
+    assert root["name"] == "front_op"
+    assert root["localEndpoint"]["serviceName"] == "cli"
+    assert root["remoteEndpoint"]["serviceName"] == "front"
+    for child in children:
+        assert child["parentId"] == root["id"]
+        assert child["traceId"] == root["traceId"]
+        assert child["name"] == "leaf_op"
+        assert child["localEndpoint"]["serviceName"] == "front"
+        assert child["remoteEndpoint"]["serviceName"] == "back"
+        # Children nest inside the parent's window.
+        assert child["timestamp"] >= root["timestamp"]
+        assert (
+            child["timestamp"] + child["duration"]
+            <= root["timestamp"] + root["duration"]
+        )
+    # The target-side annotations (t5/t8) made it through.
+    values = {a["value"] for a in root["annotations"]}
+    assert "target ULT start (t5)" in values
+    assert "target respond (t8)" in values
+
+
+def test_zipkin_surfaces_fault_annotations():
+    summary = run_summary(n=1)
+    (request,) = summary.requests.values()
+    span = request.roots[0]
+    midpoint = (span.t1 + span.t14) / 2
+    span.faults.append(FaultAnnotation(midpoint, "delay", ("cli", "front")))
+    record = span_to_zipkin(span, "0" * 16)
+    assert record["tags"]["faults"] == "1"
+    values = [a["value"] for a in record["annotations"]]
+    assert any(v.startswith("fault:delay") for v in values)
+
+
+def test_zipkin_empty_requests_export():
+    assert json.loads(to_zipkin_json([])) == []
