@@ -31,6 +31,10 @@ class Pool:
         self.high_watermark = 0
         #: Total ULTs ever pushed (for throughput accounting).
         self.total_pushed = 0
+        #: Total ULTs ever dequeued.  ``total_pushed - total_popped ==
+        #: len(pool)`` is the conservation invariant the validation layer
+        #: checks.
+        self.total_popped = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -47,6 +51,7 @@ class Pool:
     def pop(self) -> Optional["ULT"]:
         """Dequeue the next ready ULT, or None if the pool is empty."""
         if self._queue:
+            self.total_popped += 1
             return self._queue.popleft()
         return None
 

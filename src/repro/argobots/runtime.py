@@ -44,13 +44,40 @@ class AbtRuntime:
         self.total_spawned = 0
         self.total_finished = 0
         self._current_ult: Optional[ULT] = None
-        #: Optional scheduler observer (duck-typed; see
-        #: :class:`repro.symbiosys.monitor.SchedRecorder`).  When set,
-        #: every ES reports each ULT run slice:
-        #: ``on_slice(es, ult, start, end)``.
-        self.sched_observer = None
+        #: Scheduler observers (duck-typed; see
+        #: :class:`repro.symbiosys.monitor.SchedRecorder` and
+        #: :class:`repro.validate.invariants.InvariantMonitor`).  Every ES
+        #: reports each ULT run slice to each observer, in subscription
+        #: order: ``on_slice(es, ult, start, end)``.  An observer may also
+        #: implement ``on_spawn(ult)`` to see ULT creation.
+        self._sched_observers: list = []
         self.shutting_down = False
         self.shutdown_event: SimEvent = sim.event(f"{name}.shutdown")
+
+    # -- observers ---------------------------------------------------------
+
+    @property
+    def sched_observer(self):
+        """The first subscribed scheduler observer (None when empty).
+
+        Assigning replaces the whole subscription list -- the historical
+        single-observer semantics.  Use :meth:`add_sched_observer` to
+        stack observers (e.g. telemetry plus invariant checking).
+        """
+        return self._sched_observers[0] if self._sched_observers else None
+
+    @sched_observer.setter
+    def sched_observer(self, observer) -> None:
+        self._sched_observers = [] if observer is None else [observer]
+
+    def add_sched_observer(self, observer) -> None:
+        """Subscribe an additional scheduler observer."""
+        if observer in self._sched_observers:
+            raise ValueError("scheduler observer already subscribed")
+        self._sched_observers.append(observer)
+
+    def remove_sched_observer(self, observer) -> None:
+        self._sched_observers.remove(observer)
 
     # -- construction ------------------------------------------------------
 
@@ -72,6 +99,10 @@ class AbtRuntime:
         """Create a ULT from a generator and make it READY in ``pool``."""
         ult = ULT(gen, pool, name=name, created_at=self.sim.now)
         self.total_spawned += 1
+        for obs in self._sched_observers:
+            on_spawn = getattr(obs, "on_spawn", None)
+            if on_spawn is not None:
+                on_spawn(ult)
         pool.push(ult)
         return ult
 

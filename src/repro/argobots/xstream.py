@@ -111,8 +111,8 @@ class ExecutionStream:
                     )
         finally:
             self.current = None
-            if rt.sched_observer is not None:
-                rt.sched_observer.on_slice(self, ult, slice_start, sim.now)
+            for obs in rt._sched_observers:
+                obs.on_slice(self, ult, slice_start, sim.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         running = self.current.name if self.current else None

@@ -39,6 +39,7 @@ from .net import Fabric, FabricConfig
 from .sim import LocalClock, RngRegistry, Simulator
 from .symbiosys import Stage, SymbiosysCollector
 from .symbiosys.monitor import Monitor, MonitorConfig
+from .validate import InvariantMonitor, ValidationConfig
 
 __all__ = ["Cluster"]
 
@@ -73,6 +74,7 @@ class Cluster:
         retry: Optional[RetryPolicy] = None,
         instrumentation_factory: Optional[Callable[[], Instrumentation]] = None,
         monitoring: Union[None, bool, MonitorConfig] = None,
+        validate: Union[None, bool, ValidationConfig] = None,
     ):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
@@ -120,6 +122,20 @@ class Cluster:
             )
             self.monitor = Monitor(self.sim, mon_config, fabric=self.fabric)
             self.monitor.start()
+
+        #: Runtime invariant checking (``validate=True`` for defaults, or
+        #: pass a :class:`~repro.validate.ValidationConfig`).  Attached to
+        #: every process; finalized by :meth:`shutdown` after the drain.
+        self.validator: Optional[InvariantMonitor] = None
+        if validate:
+            vconfig = (
+                validate
+                if isinstance(validate, ValidationConfig)
+                else ValidationConfig()
+            )
+            self.validator = InvariantMonitor(
+                self.sim, fabric=self.fabric, config=vconfig
+            )
 
         self.processes: dict[str, MargoInstance] = {}
         #: Pending simulator events that survived the shutdown drain
@@ -178,6 +194,10 @@ class Cluster:
                 self.injector.bind_trace(addr, trace)
         if self.monitor is not None:
             self.monitor.attach(mi)
+        if self.validator is not None:
+            # Last, so its lifecycle checker wraps the instrumentation the
+            # injector and collector already saw.
+            self.validator.attach(mi)
         self.processes[addr] = mi
         return mi
 
@@ -231,6 +251,12 @@ class Cluster:
         if drain:
             self.sim.run()
         self.leaked_events = self.sim.pending_events
+        if self.validator is not None:
+            # Fault campaigns legitimately strand late responses and
+            # abandoned handles; relax the drain invariants for them.
+            self.validator.finalize(
+                allow_undrained=self.injector is not None
+            )
 
     def __enter__(self) -> "Cluster":
         return self

@@ -26,7 +26,7 @@ All windows are ``[start, end)`` in simulated seconds.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..config import Replaceable
 
@@ -266,3 +266,64 @@ class FaultPlan(Replaceable):
     def faults_for(self, addr: str) -> list[CrashFault | HangFault | RestartFault]:
         """The scheduled process faults targeting ``addr``."""
         return [f for f in self.process_faults if f.addr == addr]
+
+    # -- JSON round-trip ---------------------------------------------------
+    #
+    # Plans travel through repro files (the fuzz runner's shrunk minimal
+    # configs), so they need a lossless JSON form.  ``math.inf`` window
+    # ends become the string "inf" -- JSON has no infinity.
+
+    def to_dict(self) -> dict:
+        def rule_dict(rule) -> dict:
+            d = {"type": type(rule).__name__}
+            for f in fields(rule):
+                value = getattr(rule, f.name)
+                if isinstance(value, float) and math.isinf(value):
+                    value = "inf"
+                d[f.name] = value
+            return d
+
+        return {
+            "name": self.name,
+            "wire_rules": [rule_dict(r) for r in self.wire_rules],
+            "partitions": [rule_dict(p) for p in self.partitions],
+            "process_faults": [rule_dict(f) for f in self.process_faults],
+            "handler_rules": [rule_dict(h) for h in self.handler_rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        def build(entry: dict):
+            entry = dict(entry)
+            type_name = entry.pop("type")
+            try:
+                rule_cls = _RULE_TYPES[type_name]
+            except KeyError:
+                raise ValueError(f"unknown fault rule type {type_name!r}") from None
+            kwargs = {
+                k: (math.inf if v == "inf" else v) for k, v in entry.items()
+            }
+            return rule_cls(**kwargs)
+
+        return cls(
+            name=data.get("name", "campaign"),
+            wire_rules=tuple(build(r) for r in data.get("wire_rules", ())),
+            partitions=tuple(build(p) for p in data.get("partitions", ())),
+            process_faults=tuple(build(f) for f in data.get("process_faults", ())),
+            handler_rules=tuple(build(h) for h in data.get("handler_rules", ())),
+        )
+
+
+_RULE_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        DropRule,
+        DuplicateRule,
+        DelayRule,
+        PartitionWindow,
+        CrashFault,
+        HangFault,
+        RestartFault,
+        HandlerFaultRule,
+    )
+}

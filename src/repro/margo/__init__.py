@@ -1,11 +1,12 @@
 """Simulated Margo layer (DESIGN.md §2 item 5)."""
 
 from .errors import MargoError, MargoTimeoutError, RemoteRpcError
-from .hooks import Instrumentation, NullInstrumentation
+from .hooks import CompositeInstrumentation, Instrumentation, NullInstrumentation
 from .instance import MargoConfig, MargoInstance, ProcessStats
 from .retry import RetryPolicy
 
 __all__ = [
+    "CompositeInstrumentation",
     "Instrumentation",
     "MargoConfig",
     "MargoError",

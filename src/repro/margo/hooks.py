@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..mercury import HGHandle
     from .instance import MargoInstance
 
-__all__ = ["Instrumentation", "NullInstrumentation"]
+__all__ = ["CompositeInstrumentation", "Instrumentation", "NullInstrumentation"]
 
 
 class Instrumentation:
@@ -98,3 +98,55 @@ class Instrumentation:
 
 class NullInstrumentation(Instrumentation):
     """No-op hooks: instrumentation and measurement fully disabled."""
+
+
+class CompositeInstrumentation(Instrumentation):
+    """Fan one hook surface out to several implementations.
+
+    MargoInstance holds exactly one ``instr``; when two systems need the
+    hooks on the same process (e.g. SYMBIOSYS measurement plus the
+    validation layer's RPC-lifecycle checker), wrap them:
+    ``mi.instr = CompositeInstrumentation([mi.instr, checker])``.
+    Children are invoked in list order and may be added after
+    construction with :meth:`add`; ``attach`` is forwarded like every
+    other hook, so late-added children must be attached by the caller if
+    they need it.
+    """
+
+    def __init__(self, children=()):
+        self.children: list[Instrumentation] = list(children)
+
+    def add(self, child: Instrumentation) -> None:
+        self.children.append(child)
+
+    def attach(self, mi: "MargoInstance") -> None:
+        for child in self.children:
+            child.attach(mi)
+
+    def on_forward(self, mi, handle, ult) -> None:
+        for child in self.children:
+            child.on_forward(mi, handle, ult)
+
+    def on_forward_complete(self, mi, handle, ult, t1, t14) -> None:
+        for child in self.children:
+            child.on_forward_complete(mi, handle, ult, t1, t14)
+
+    def on_forward_timeout(self, mi, handle, ult, timeout) -> None:
+        for child in self.children:
+            child.on_forward_timeout(mi, handle, ult, timeout)
+
+    def on_forward_retry(self, mi, handle, ult, attempt, delay, target) -> None:
+        for child in self.children:
+            child.on_forward_retry(mi, handle, ult, attempt, delay, target)
+
+    def on_handler_start(self, mi, handle, ult) -> None:
+        for child in self.children:
+            child.on_handler_start(mi, handle, ult)
+
+    def on_respond(self, mi, handle, ult) -> None:
+        for child in self.children:
+            child.on_respond(mi, handle, ult)
+
+    def on_handler_end(self, mi, handle, ult) -> None:
+        for child in self.children:
+            child.on_handler_end(mi, handle, ult)

@@ -202,12 +202,33 @@ class HGCore:
         self._posted: dict[int, tuple[HGHandle, Callable]] = {}
         self._cancelled: set[int] = set()
         self._completion_queue: deque = deque()
-        #: Optional progress observer (duck-typed; the online monitor):
-        #: called ``observer(now, n_events_read)`` after every progress
-        #: iteration, including empty ones.
-        self.progress_observer = None
+        #: Progress observers (duck-typed; the online monitor and the
+        #: invariant checker): each is called ``observer(now,
+        #: n_events_read)`` after every progress iteration, including
+        #: empty ones, in subscription order.
+        self._progress_observers: list = []
         self.pvars = PvarRegistry()
         self._define_pvars()
+
+    @property
+    def progress_observer(self):
+        """The first subscribed progress observer (None when empty).
+        Assigning replaces the whole list; :meth:`add_progress_observer`
+        stacks observers instead."""
+        return self._progress_observers[0] if self._progress_observers else None
+
+    @progress_observer.setter
+    def progress_observer(self, observer) -> None:
+        self._progress_observers = [] if observer is None else [observer]
+
+    def add_progress_observer(self, observer) -> None:
+        """Subscribe an additional progress observer."""
+        if observer in self._progress_observers:
+            raise ValueError("progress observer already subscribed")
+        self._progress_observers.append(observer)
+
+    def remove_progress_observer(self, observer) -> None:
+        self._progress_observers.remove(observer)
 
     @property
     def addr(self) -> str:
@@ -555,8 +576,8 @@ class HGCore:
         return n
 
     def _note_progress(self, n: int) -> None:
-        if self.progress_observer is not None:
-            self.progress_observer(self.sim.now, n)
+        for observer in self._progress_observers:
+            observer(self.sim.now, n)
 
     def set_ofi_max_events(self, n: int) -> None:
         """Adjust the per-iteration OFI read cap at runtime."""

@@ -95,11 +95,20 @@ class Fabric:
         self.total_bytes = 0
         self.total_dropped = 0
         self.total_duplicated = 0
-        #: Bytes currently on the wire (sent but not yet delivered).
-        #: Only maintained when ``track_inflight`` is set (the online
-        #: monitor enables it) -- tracking schedules one extra noop
-        #: event per delivery, so it is opt-in.
+        #: Byte-level conservation ledger (checked by the validation
+        #: layer):  ``total_bytes + duplicated_bytes == delivered_bytes +
+        #: dropped_bytes + discarded_bytes + inflight_bytes`` holds at
+        #: every instant between event callbacks.
+        self.delivered_bytes = 0
+        self.dropped_bytes = 0
+        #: Bytes delivered to a closed (crashed) endpoint and lost there.
+        self.discarded_bytes = 0
+        self.duplicated_bytes = 0
+        #: Retained for backward compatibility: in-flight accounting used
+        #: to be opt-in (it needed an extra event per delivery); it now
+        #: rides the delivery callback and is always on.
         self.track_inflight = False
+        #: Bytes currently on the wire (sent but not yet delivered).
         self.inflight_bytes = 0
 
     # -- endpoint registry --------------------------------------------------
@@ -156,6 +165,7 @@ class Fabric:
             # A crashed process cannot inject anything: no delivery and
             # no local completion either.
             self.total_dropped += 1
+            self.dropped_bytes += msg.size_bytes
             return float("inf")
 
         fault: Optional[WireFault] = None
@@ -174,6 +184,7 @@ class Fabric:
             # Silently lost on the wire: the local send still "completes"
             # (no ack in this transport), but nothing is delivered.
             self.total_dropped += 1
+            self.dropped_bytes += msg.size_bytes
             if on_local_complete is not None:
                 inject = msg.size_bytes / self.config.bandwidth
                 self.sim.call_after(inject, on_local_complete)
@@ -190,6 +201,7 @@ class Fabric:
         extra_delay = fault.extra_delay if fault is not None else 0.0
         copies = 1 + (fault.copies if fault is not None else 0)
         self.total_duplicated += copies - 1
+        self.duplicated_bytes += (copies - 1) * msg.size_bytes
         deliver_at = float("inf")
         for _ in range(copies):
             delay = (
@@ -197,19 +209,31 @@ class Fabric:
                 + extra_delay
             )
             at = self.sim.now + delay
+            self.inflight_bytes += msg.size_bytes
             self.sim.call_at(
                 at,
-                dst_ep.push,
+                self._deliver,
+                dst_ep,
                 CQEntry(kind=CQKind.RECV, payload=msg, enqueued_at=at),
+                msg.size_bytes,
             )
-            if self.track_inflight:
-                self.inflight_bytes += msg.size_bytes
-                self.sim.call_at(at, self._dec_inflight, msg.size_bytes)
             deliver_at = min(deliver_at, at)
         return deliver_at
 
-    def _dec_inflight(self, nbytes: int) -> None:
+    def _deliver(self, dst_ep: Endpoint, entry: CQEntry, nbytes: int) -> None:
+        """Land one wire transfer.
+
+        Decrementing in-flight bytes and crediting the delivered (or
+        discarded, if the endpoint died while the bytes were on the wire)
+        ledger happens in the same event as the CQ push, so the byte
+        conservation identity holds at every observable instant.
+        """
         self.inflight_bytes -= nbytes
+        if dst_ep.closed:
+            self.discarded_bytes += nbytes
+        else:
+            self.delivered_bytes += nbytes
+        dst_ep.push(entry)
 
     # -- one-sided RDMA ------------------------------------------------------------
 
@@ -241,6 +265,7 @@ class Fabric:
             # Reliable transport cannot cross a partition or reach a dead
             # process: the operation simply never completes.
             self.total_dropped += 1
+            self.dropped_bytes += size_bytes
             return float("inf")
 
         same = bool(ini_ep.node) and ini_ep.node == rem_ep.node
@@ -253,18 +278,27 @@ class Fabric:
         if self.config.jitter_sigma > 0 and self._rng is not None:
             delay *= float(np.exp(self._rng.normal(0.0, self.config.jitter_sigma)))
         done_at = self.sim.now + delay
+        self.inflight_bytes += size_bytes
         if on_complete is not None:
-            self.sim.call_at(done_at, on_complete)
+            self.sim.call_at(done_at, self._complete_rdma, on_complete, size_bytes)
         else:
             self.sim.call_at(
                 done_at,
-                ini_ep.push,
+                self._deliver,
+                ini_ep,
                 CQEntry(kind=CQKind.RDMA_COMPLETE, payload=payload, enqueued_at=done_at),
+                size_bytes,
             )
-        if self.track_inflight:
-            self.inflight_bytes += size_bytes
-            self.sim.call_at(done_at, self._dec_inflight, size_bytes)
         return done_at
+
+    def _complete_rdma(
+        self, on_complete: Callable[[], None], nbytes: int
+    ) -> None:
+        # Inline (non-CQ) RDMA completion: the callback fires regardless of
+        # endpoint state, so the bytes always count as delivered.
+        self.inflight_bytes -= nbytes
+        self.delivered_bytes += nbytes
+        on_complete()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Fabric(endpoints={len(self._endpoints)}, msgs={self.total_messages})"

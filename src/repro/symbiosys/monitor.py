@@ -438,9 +438,9 @@ class Monitor:
         if mi.addr in self._processes:
             raise ValueError(f"process {mi.addr!r} already monitored")
         self._processes[mi.addr] = mi
-        mi.rt.sched_observer = self.sched
+        mi.rt.add_sched_observer(self.sched)
         self.last_progress[mi.addr] = self.sim.now
-        mi.hg.progress_observer = (
+        mi.hg.add_progress_observer(
             lambda t, n, addr=mi.addr: self._on_progress(addr, t, n)
         )
 

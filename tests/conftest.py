@@ -1,0 +1,117 @@
+"""Shared test harness helpers.
+
+One home for the world-builders the margo / faults / services suites
+used to duplicate: a bare Margo pair on a fabric (``make_pair``,
+``make_service_world``), a Cluster-managed echo world
+(``make_echo_cluster``), and the ULT drivers (``run_client_calls``,
+``run_ult``).  The per-directory ``conftest.py`` files re-export these
+so existing ``from .conftest import ...`` lines keep working.
+"""
+
+from types import SimpleNamespace
+
+from repro.cluster import Cluster
+from repro.margo import MargoConfig, MargoInstance
+from repro.net import Fabric, FabricConfig
+from repro.sim import Simulator
+
+
+def echo_handler(mi, handle):
+    inp = yield from mi.get_input(handle)
+    yield from mi.respond(handle, {"echo": inp})
+
+
+def make_pair(
+    *,
+    server_config=None,
+    client_config=None,
+    hg_config=None,
+    instrumentation_factory=None,
+    same_node=False,
+):
+    """A client and a server MargoInstance on a shared fabric."""
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    mk_instr = instrumentation_factory or (lambda mi_addr: None)
+    server = MargoInstance(
+        sim,
+        fabric,
+        "svr",
+        "n0",
+        config=server_config or MargoConfig(n_handler_es=2),
+        hg_config=hg_config,
+        instrumentation=mk_instr("svr"),
+    )
+    client = MargoInstance(
+        sim,
+        fabric,
+        "cli",
+        "n0" if same_node else "n1",
+        config=client_config or MargoConfig(),
+        hg_config=hg_config,
+        instrumentation=mk_instr("cli"),
+    )
+    return SimpleNamespace(sim=sim, fabric=fabric, server=server, client=client)
+
+
+def make_service_world(n_handler_es=2, hg_config=None, server_addr="svr"):
+    """Like ``make_pair`` but with the handler-ES count as the lead knob."""
+    sim = Simulator()
+    fabric = Fabric(sim, FabricConfig())
+    server = MargoInstance(
+        sim,
+        fabric,
+        server_addr,
+        "n0",
+        config=MargoConfig(n_handler_es=n_handler_es),
+        hg_config=hg_config,
+    )
+    client = MargoInstance(sim, fabric, "cli", "n1", hg_config=hg_config)
+    return SimpleNamespace(sim=sim, fabric=fabric, server=server, client=client)
+
+
+def make_echo_cluster(*, plan=None, seed=0, retry=None, stage=None, **cluster_kw):
+    """One server + one client on separate nodes under a Cluster, echo
+    RPC registered.  Extra keywords go to :class:`~repro.cluster.Cluster`
+    (``validate=...``, ``monitoring=...``, ...)."""
+    cluster = Cluster(
+        seed=seed, stage=stage, fault_plan=plan, retry=retry, **cluster_kw
+    )
+    server = cluster.process("svr", "nA", n_handler_es=1)
+    client = cluster.process("cli", "nB")
+    server.register("echo", echo_handler)
+    client.register("echo")
+    return SimpleNamespace(
+        cluster=cluster,
+        sim=cluster.sim,
+        server=server,
+        client=client,
+        injector=cluster.injector,
+    )
+
+
+def run_client_calls(world, calls, name="c"):
+    """Spawn one client ULT per (rpc_name, payload); collect outputs."""
+    results = []
+
+    def body(rpc_name, payload):
+        out = yield from world.client.forward("svr", rpc_name, payload)
+        results.append(out)
+
+    for i, (rpc_name, payload) in enumerate(calls):
+        world.client.client_ult(body(rpc_name, payload), name=f"{name}{i}")
+    return results
+
+
+def run_ult(world, gen, until=2.0, name="test"):
+    """Run one client ULT to completion; return its result."""
+    done = {}
+
+    def wrapper():
+        result = yield from gen
+        done["result"] = result
+
+    world.client.client_ult(wrapper(), name=name)
+    world.sim.run_until(lambda: "result" in done, limit=until)
+    assert "result" in done, "client ULT did not finish in time"
+    return done.get("result")

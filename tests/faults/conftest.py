@@ -1,28 +1,5 @@
-"""Fault-test harness: a tiny echo service under a Cluster."""
+"""Fault-test harness (shared implementations in tests/conftest.py)."""
 
-from types import SimpleNamespace
+from tests.conftest import echo_handler, make_echo_cluster
 
-from repro.cluster import Cluster
-
-
-def echo_handler(mi, handle):
-    inp = yield from mi.get_input(handle)
-    yield from mi.respond(handle, {"echo": inp})
-
-
-def make_echo_cluster(*, plan=None, seed=0, retry=None, stage=None, **cluster_kw):
-    """One server + one client on separate nodes, echo RPC registered."""
-    cluster = Cluster(
-        seed=seed, stage=stage, fault_plan=plan, retry=retry, **cluster_kw
-    )
-    server = cluster.process("svr", "nA", n_handler_es=1)
-    client = cluster.process("cli", "nB")
-    server.register("echo", echo_handler)
-    client.register("echo")
-    return SimpleNamespace(
-        cluster=cluster,
-        sim=cluster.sim,
-        server=server,
-        client=client,
-        injector=cluster.injector,
-    )
+__all__ = ["echo_handler", "make_echo_cluster"]

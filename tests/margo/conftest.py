@@ -1,58 +1,5 @@
-"""Margo test harness helpers."""
+"""Margo test harness helpers (shared implementations in tests/conftest.py)."""
 
-from types import SimpleNamespace
+from tests.conftest import echo_handler, make_pair, run_client_calls
 
-from repro.margo import MargoConfig, MargoInstance
-from repro.net import Fabric, FabricConfig
-from repro.sim import Simulator
-
-
-def make_pair(
-    *,
-    server_config=None,
-    client_config=None,
-    hg_config=None,
-    instrumentation_factory=None,
-    same_node=False,
-):
-    """A client and a server MargoInstance on a shared fabric."""
-    sim = Simulator()
-    fabric = Fabric(sim, FabricConfig())
-    mk_instr = instrumentation_factory or (lambda mi_addr: None)
-    server = MargoInstance(
-        sim,
-        fabric,
-        "svr",
-        "n0",
-        config=server_config or MargoConfig(n_handler_es=2),
-        hg_config=hg_config,
-        instrumentation=mk_instr("svr"),
-    )
-    client = MargoInstance(
-        sim,
-        fabric,
-        "cli",
-        "n0" if same_node else "n1",
-        config=client_config or MargoConfig(),
-        hg_config=hg_config,
-        instrumentation=mk_instr("cli"),
-    )
-    return SimpleNamespace(sim=sim, fabric=fabric, server=server, client=client)
-
-
-def echo_handler(mi, handle):
-    inp = yield from mi.get_input(handle)
-    yield from mi.respond(handle, {"echo": inp})
-
-
-def run_client_calls(world, calls, name="c"):
-    """Spawn one client ULT per (rpc_name, payload); collect outputs."""
-    results = []
-
-    def body(rpc_name, payload):
-        out = yield from world.client.forward("svr", rpc_name, payload)
-        results.append(out)
-
-    for i, (rpc_name, payload) in enumerate(calls):
-        world.client.client_ult(body(rpc_name, payload), name=f"{name}{i}")
-    return results
+__all__ = ["echo_handler", "make_pair", "run_client_calls"]

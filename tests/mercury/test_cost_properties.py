@@ -1,0 +1,124 @@
+"""Property-based checks for the Mercury cost models.
+
+Uses hypothesis when the container has it; otherwise the same
+properties run over seeded random samples, so the suite never gains a
+hard dependency.
+"""
+
+import functools
+import random
+
+import pytest
+
+from repro.mercury import HGConfig
+from repro.mercury.bulk import BulkRef
+from repro.mercury.serialization import SerializationModel, estimate_size
+
+from .conftest import call_rpc, make_world, serve_echo
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+N_EXAMPLES = 60
+MAX_SIZE = 1 << 22
+
+
+def forall_sizes(n_args=1):
+    """Run the test for many payload sizes: hypothesis-driven when
+    available, seeded uniform samples otherwise."""
+
+    def deco(f):
+        if HAVE_HYPOTHESIS:
+            strat = [st.integers(min_value=0, max_value=MAX_SIZE)] * n_args
+            return settings(max_examples=N_EXAMPLES, deadline=None)(
+                given(*strat)(f)
+            )
+
+        @functools.wraps(f)
+        def runner():
+            rng = random.Random(0xC0575)
+            for _ in range(N_EXAMPLES):
+                f(*(rng.randrange(0, MAX_SIZE + 1) for _ in range(n_args)))
+
+        return runner
+
+    return deco
+
+
+@forall_sizes()
+def test_costs_are_non_negative(nbytes):
+    model = SerializationModel()
+    assert model.ser_time(nbytes) >= 0.0
+    assert model.deser_time(nbytes) >= 0.0
+    assert model.ser_time(0) == model.ser_fixed
+    assert model.deser_time(0) == model.deser_fixed
+
+
+@forall_sizes(n_args=2)
+def test_costs_are_monotone_in_payload_size(a, b):
+    lo, hi = sorted((a, b))
+    model = SerializationModel()
+    assert model.ser_time(lo) <= model.ser_time(hi)
+    assert model.deser_time(lo) <= model.deser_time(hi)
+
+
+@forall_sizes()
+def test_estimate_size_scales_with_content(nbytes):
+    nbytes = nbytes % (1 << 12)  # keep allocations small
+    assert estimate_size(bytes(nbytes)) == 8 + nbytes
+    assert estimate_size([0] * (nbytes % 64)) == 8 + 8 * (nbytes % 64)
+
+
+def test_estimate_size_base_cases():
+    assert estimate_size(None) == 4
+    assert estimate_size(True) == 4
+    assert estimate_size(7) == 8
+    assert estimate_size(3.14) == 8
+    assert estimate_size("ab") == 8 + 2
+    assert estimate_size({"k": "v"}) == 8 + (8 + 1) + (8 + 1)
+    with pytest.raises(TypeError):
+        estimate_size(object())
+
+
+@forall_sizes()
+def test_bulk_ref_encodes_as_fixed_descriptor(nbytes):
+    ref = BulkRef(bytes(nbytes % (1 << 12)))
+    # The wire cost of shipping the *reference* never depends on the
+    # region size -- only the descriptor travels.
+    assert estimate_size(ref) == 24
+    assert ref.nbytes == 8 + (nbytes % (1 << 12))
+    assert BulkRef(b"", nbytes=nbytes).nbytes == nbytes
+
+
+def test_eager_to_rdma_switch_happens_exactly_once():
+    """Sweeping the payload through the eager threshold flips the
+    transport exactly once, at ``input_size > eager_size``."""
+    eager_size = 256
+    sim, sides = make_world(hg_config=HGConfig(eager_size=eager_size))
+    serve_echo(sides["svr"])
+
+    # bytes payloads encode as 8 + len: the documented switch point is
+    # len == eager_size - 8.
+    lengths = range(eager_size - 12, eager_size - 3)
+    overflowed = []
+    sess = sides["cli"].hg.pvar_session_init()
+    for length in lengths:
+        before = sess.read_by_name("eager_overflow_count")
+        results = []
+        call_rpc(sides["cli"], "svr", "echo", bytes(length), results)
+        assert sim.run_until(lambda: results, limit=1.0)
+        overflowed.append(sess.read_by_name("eager_overflow_count") - before)
+
+    expected = [1 if 8 + length > eager_size else 0 for length in lengths]
+    assert overflowed == expected
+    # Exactly one False->True transition across the sweep, at the boundary.
+    transitions = [
+        (a, b) for a, b in zip(overflowed, overflowed[1:]) if a != b
+    ]
+    assert transitions == [(0, 1)]
+    assert overflowed.index(1) == lengths.index(eager_size - 8 + 1)

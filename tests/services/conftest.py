@@ -1,41 +1,10 @@
-"""Service test harness: one server + one client process."""
-
-from types import SimpleNamespace
+"""Service test harness (shared implementations in tests/conftest.py)."""
 
 import pytest
 
-from repro.margo import MargoConfig, MargoInstance
-from repro.net import Fabric, FabricConfig
-from repro.sim import Simulator
+from tests.conftest import make_service_world, run_ult
 
-
-def make_service_world(n_handler_es=2, hg_config=None, server_addr="svr"):
-    sim = Simulator()
-    fabric = Fabric(sim, FabricConfig())
-    server = MargoInstance(
-        sim,
-        fabric,
-        server_addr,
-        "n0",
-        config=MargoConfig(n_handler_es=n_handler_es),
-        hg_config=hg_config,
-    )
-    client = MargoInstance(sim, fabric, "cli", "n1", hg_config=hg_config)
-    return SimpleNamespace(sim=sim, fabric=fabric, server=server, client=client)
-
-
-def run_ult(world, gen, until=2.0, name="test"):
-    """Run one client ULT to completion; return its result."""
-    done = {}
-
-    def wrapper():
-        result = yield from gen
-        done["result"] = result
-
-    world.client.client_ult(wrapper(), name=name)
-    world.sim.run_until(lambda: "result" in done, limit=until)
-    assert "result" in done, "client ULT did not finish in time"
-    return done.get("result")
+__all__ = ["make_service_world", "run_ult", "world"]
 
 
 @pytest.fixture

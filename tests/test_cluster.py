@@ -79,13 +79,13 @@ def test_process_kwargs_build_margo_config():
 
 
 def test_process_rejects_duplicates_and_ambiguous_config():
-    cluster = Cluster(stage=None)
-    cluster.process("p")
-    with pytest.raises(ValueError):
+    with Cluster(stage=None) as cluster:
         cluster.process("p")
-    with pytest.raises(ValueError):
-        cluster.process("q", config=MargoConfig(), n_handler_es=2)
-    assert cluster["p"] is cluster.processes["p"]
+        with pytest.raises(ValueError):
+            cluster.process("p")
+        with pytest.raises(ValueError):
+            cluster.process("q", config=MargoConfig(), n_handler_es=2)
+        assert cluster["p"] is cluster.processes["p"]
 
 
 def test_preset_is_duck_typed():

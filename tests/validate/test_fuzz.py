@@ -1,0 +1,150 @@
+"""Fuzz-runner machinery: config round-trips, shrinking, repro files,
+and a tiny real sweep."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CrashFault,
+    DelayRule,
+    DropRule,
+    DuplicateRule,
+    FaultPlan,
+)
+from repro.validate.fuzz import (
+    FailureReport,
+    FuzzConfig,
+    fuzz_sweep,
+    load_repro,
+    random_fault_plan,
+    shrink,
+    write_repro,
+)
+
+
+def _plan():
+    return FaultPlan(
+        name="mixed",
+        wire_rules=[
+            DropRule(dst="echo-svr", kind="rpc_request", probability=0.1),
+            DuplicateRule(dst="echo-svr", probability=0.05),
+            DelayRule(dst="echo-svr", extra=80e-6, probability=0.2),
+        ],
+        process_faults=[CrashFault(addr="echo-svr", at=0.5e-3)],
+    )
+
+
+def test_fuzz_config_json_round_trip():
+    config = FuzzConfig(seed=7, workload="sonata", scale=5, plan=_plan())
+    assert FuzzConfig.from_dict(config.to_dict()) == config
+    # and the dict itself is pure JSON (no float('inf'), no objects)
+    import json
+
+    assert json.loads(json.dumps(config.to_dict())) == config.to_dict()
+
+
+def test_random_fault_plans_survive_serialization():
+    rng = np.random.default_rng(42)
+    n_plans = 0
+    for _ in range(50):
+        plan = random_fault_plan(rng, "echo")
+        if plan is None:
+            continue
+        n_plans += 1
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert n_plans > 10  # the generator is not degenerate
+
+
+def test_shrink_isolates_the_culprit_rule():
+    """Failure depends on one DropRule only: shrinking must strip the
+    other three rules and collapse the scale to 1."""
+    config = FuzzConfig(seed=3, scale=8, plan=_plan())
+
+    def is_failing(cfg):
+        return cfg.plan is not None and any(
+            isinstance(rule, DropRule) for rule in cfg.plan.wire_rules
+        )
+
+    shrunk = shrink(config, is_failing)
+    assert shrunk.scale == 1
+    assert [type(r) for r in shrunk.plan.wire_rules] == [DropRule]
+    assert not shrunk.plan.process_faults
+    assert is_failing(shrunk)
+
+
+def test_shrink_respects_eval_budget():
+    config = FuzzConfig(seed=3, scale=64, plan=_plan())
+    evals = []
+
+    def is_failing(cfg):
+        evals.append(cfg)
+        return True  # everything "fails": worst case for the search
+
+    shrunk = shrink(config, is_failing, max_evals=5)
+    assert len(evals) <= 5
+    # even under the tight budget the result is a genuine simplification
+    assert shrunk != config
+
+
+def test_shrink_of_plan_free_failure_only_scales_down():
+    config = FuzzConfig(seed=1, scale=16, plan=None)
+    shrunk = shrink(config, lambda cfg: True)
+    assert shrunk.plan is None
+    assert shrunk.scale == 1
+
+
+def test_repro_file_round_trip_prefers_shrunk(tmp_path):
+    config = FuzzConfig(seed=9, scale=8, plan=_plan())
+    shrunk = FuzzConfig(seed=9, scale=1, plan=None)
+    path = tmp_path / "repro.json"
+    write_repro(
+        FailureReport(config=config, kind="hang", detail="x", shrunk=shrunk),
+        str(path),
+    )
+    assert load_repro(str(path)) == shrunk
+    # without a shrunk config the original is replayed
+    write_repro(
+        FailureReport(config=config, kind="hang", detail="x"), str(path)
+    )
+    assert load_repro(str(path)) == config
+
+
+def test_load_repro_rejects_non_repro_files(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text('{"something": "else"}')
+    with pytest.raises(ValueError, match="not a fuzz repro file"):
+        load_repro(str(path))
+
+
+def test_small_sweep_is_clean():
+    result = fuzz_sweep(
+        seeds=[0], workloads=("echo",), presets=("fast",), fault_fraction=0.0
+    )
+    assert result.ok
+    assert result.configs_run == 1
+
+
+def test_sweep_shrinks_and_writes_repro_on_failure(tmp_path, monkeypatch):
+    """Force one config to fail: the sweep must shrink it and leave a
+    replayable repro file behind."""
+    import repro.validate.fuzz as fuzz_mod
+
+    def fake_check(config, time_limit=5.0):
+        return "invariant: injected for test" if config.seed == 0 else None
+
+    monkeypatch.setattr(fuzz_mod, "check_config", fake_check)
+    repro = tmp_path / "repro.json"
+    result = fuzz_mod.fuzz_sweep(
+        seeds=[0],
+        workloads=("echo",),
+        presets=("fast",),
+        fault_fraction=1.0,
+        repro_path=str(repro),
+    )
+    assert not result.ok
+    (failure,) = result.failures
+    assert failure.kind == "invariant"
+    assert failure.shrunk is not None
+    assert failure.shrunk.scale == 1
+    assert repro.exists()
+    assert load_repro(str(repro)) == failure.shrunk
