@@ -1,0 +1,52 @@
+"""Wall-clock benchmark suite for the simulation kernel and harnesses.
+
+The simulator in :mod:`repro.sim.engine` is the substrate every layer --
+Argobots, the fabric, Mercury, Margo, the services, the monitor --
+reduces to, so its per-event overhead multiplies into every experiment,
+fuzz run, and golden regeneration.  This package measures that overhead
+in *wall-clock* terms, the one axis the simulated clock cannot see:
+
+* :mod:`repro.bench.kernel` -- microbenchmarks of the kernel hot paths
+  (event churn, the same-instant fast lane, spawn/resume, ``AnyOf``, and
+  a full Margo RPC round-trip).
+* :mod:`repro.bench.macro` -- end-to-end experiment presets (Sonata
+  store_multi, the HEPnOS data loader, monitor on/off).
+
+``python -m repro.bench`` runs both suites (median-of-N) and writes
+``BENCH_kernel.json`` / ``BENCH_macro.json`` with machine metadata and a
+calibration constant, so numbers from different machines and different
+PRs stay comparable.  ``--compare OLD.json`` embeds an older run as the
+baseline and reports speedups; ``--check`` fails on regressions against
+a committed baseline (see ``docs/performance.md``).
+
+The suite deliberately uses only APIs present since the seed kernel
+(falling back from the event-driven wait when it is absent), so it can
+be checked out against any prior revision to extend the trajectory
+backwards.
+"""
+
+from .harness import (
+    BenchResult,
+    SuiteResult,
+    check_regressions,
+    compare_suites,
+    machine_meta,
+    time_bench,
+    write_suite,
+)
+from .kernel import KERNEL_BENCHMARKS, run_kernel_benchmarks
+from .macro import MACRO_BENCHMARKS, run_macro_benchmarks
+
+__all__ = [
+    "BenchResult",
+    "KERNEL_BENCHMARKS",
+    "MACRO_BENCHMARKS",
+    "SuiteResult",
+    "check_regressions",
+    "compare_suites",
+    "machine_meta",
+    "run_kernel_benchmarks",
+    "run_macro_benchmarks",
+    "time_bench",
+    "write_suite",
+]

@@ -1,0 +1,118 @@
+"""Command-line benchmark runner.
+
+Usage::
+
+    python -m repro.bench                    # full suites, write BENCH_*.json
+    python -m repro.bench --smoke            # CI-sized workloads
+    python -m repro.bench --suite kernel     # one suite only
+    python -m repro.bench --compare OLD.json # embed OLD as the baseline
+    python -m repro.bench --check BASE.json  # fail on >25% regression
+
+``--check`` compares machine-normalized costs (median / calibration
+constant), so a committed baseline from one machine still gates runs on
+another; see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .harness import check_regressions, write_suite
+from .kernel import run_kernel_benchmarks
+from .macro import run_macro_benchmarks
+
+_SUITES = {
+    "kernel": (run_kernel_benchmarks, "BENCH_kernel.json"),
+    "macro": (run_macro_benchmarks, "BENCH_macro.json"),
+}
+
+
+def _load(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def _baseline_for(compare: dict, suite_name: str) -> dict | None:
+    """A --compare/--check file is either one suite dict or a bundle
+    keyed by suite name (the committed baseline format)."""
+    if compare.get("suite") == suite_name:
+        return compare
+    entry = compare.get(suite_name)
+    return entry if isinstance(entry, dict) else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Wall-clock benchmarks for the kernel and harnesses.",
+    )
+    parser.add_argument(
+        "--suite", choices=[*_SUITES, "all"], default="all",
+        help="which suite to run (default: all)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workloads for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repeats per benchmark (median is reported)")
+    parser.add_argument("--out", default=".",
+                        help="directory for BENCH_*.json (default: cwd)")
+    parser.add_argument("--compare", default=None, metavar="OLD.json",
+                        help="embed OLD as the baseline and report speedups")
+    parser.add_argument("--check", default=None, metavar="BASELINE.json",
+                        help="exit 1 on >--threshold regression vs BASELINE")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative regression for --check")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
+    args = parser.parse_args(argv)
+
+    log = (lambda s: None) if args.quiet else print
+    compare = _load(args.compare) if args.compare else None
+    check = _load(args.check) if args.check else None
+    suites = list(_SUITES) if args.suite == "all" else [args.suite]
+    failures: list[str] = []
+
+    os.makedirs(args.out, exist_ok=True)
+    for name in suites:
+        run, filename = _SUITES[name]
+        kwargs = {"smoke": args.smoke, "log": log}
+        if args.repeats is not None:
+            kwargs["repeats"] = args.repeats
+        suite = run(**kwargs)
+        path = os.path.join(args.out, filename)
+        baseline = compare and _baseline_for(compare, name)
+        payload = write_suite(suite, path, baseline=baseline)
+        print(f"{name}: wrote {path}")
+        for row in suite.rows():
+            line = f"  {row['benchmark']:<16} {row['median']:>10}  {row['rate']}"
+            speedups = payload.get("speedup_vs_baseline", {})
+            if row["benchmark"] in speedups:
+                line += f"  ({speedups[row['benchmark']]:.2f}x vs baseline)"
+            print(line)
+        if check is not None:
+            base = _baseline_for(check, name)
+            if base is None:
+                failures.append(f"{name}: no baseline in {args.check}")
+            else:
+                failures.extend(
+                    f"{name}/{msg}"
+                    for msg in check_regressions(
+                        base, payload, threshold=args.threshold
+                    )
+                )
+
+    if failures:
+        print("bench --check FAILED:")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    if check is not None:
+        print(f"bench --check passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

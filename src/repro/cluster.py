@@ -209,10 +209,16 @@ class Cluster:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         return self.sim.run(until=until, max_events=max_events)
 
-    def run_until(
-        self, predicate: Callable[[], bool], limit: float, step: float = 5e-3
-    ) -> bool:
-        return self.sim.run_until(predicate, limit, step=step)
+    def run_until(self, predicate: Callable[[], bool], limit: float) -> bool:
+        return self.sim.run_until(predicate, limit)
+
+    def run_until_event(self, event, limit: Optional[float] = None) -> bool:
+        """Event-driven wait: run until ``event`` fires (or ``limit``).
+
+        Preferred over :meth:`run_until` on hot paths -- it stops exactly
+        at the firing instant with no per-event predicate cost and no
+        idle tail."""
+        return self.sim.run_until_event(event, limit=limit)
 
     # -- reporting ----------------------------------------------------------
 

@@ -21,12 +21,12 @@ import time
 import numpy as np
 
 from .configs import TABLE_IV, table_iv_rows
-from .faults import run_fault_campaign
 from .hepnos import run_hepnos_experiment
 from .mobject import run_mobject_experiment
 from .monitor import run_monitor_experiment
 from .overhead import run_overhead_study, time_analysis_scripts
 from .reporting import ascii_table, format_seconds, series_histogram
+from .runner import run_fault_campaigns
 from .sonata import run_sonata_experiment
 
 
@@ -119,16 +119,41 @@ def _fig12(args) -> None:
 
 def _fig13(args) -> None:
     study = run_overhead_study(
-        repetitions=args.reps, events_per_client=min(args.events, 512)
+        repetitions=args.reps, events_per_client=min(args.events, 512),
+        jobs=args.jobs,
     )
     print("Figure 13: measurement overheads")
     print(ascii_table(study.rows()))
 
 
+def _overhead(args) -> None:
+    # The deterministic view of the overhead study: only simulated
+    # quantities, so the output is byte-identical for any --jobs value
+    # (the CI determinism gate diffs --jobs 1 against --jobs 4).
+    study = run_overhead_study(
+        repetitions=args.reps, events_per_client=min(args.events, 512),
+        jobs=args.jobs,
+    )
+    print("Overhead study: simulated quantities per stage")
+    rows = [
+        {
+            "stage": row["stage"],
+            "mean_sim_makespan": format_seconds(row["mean_sim_makespan_s"]),
+            "trace_events": row["trace_events"],
+        }
+        for row in study.rows()
+    ]
+    print(ascii_table(rows))
+
+
 def _faults(args) -> None:
-    result = run_fault_campaign(seed=args.seed)
+    seeds = range(args.seed, args.seed + args.seeds)
+    results = run_fault_campaigns(seeds, jobs=args.jobs)
     print("Fault campaign: Sonata under injected faults")
-    print(result.report())
+    for i, result in enumerate(results):
+        if i:
+            print()
+        print(result.report())
 
 
 def _monitor(args) -> None:
@@ -163,6 +188,7 @@ TARGETS = {
     "fig11": _fig11,
     "fig12": _fig12,
     "fig13": _fig13,
+    "overhead": _overhead,
     "table4": _table4,
     "table5": _table5,
     "faults": _faults,
@@ -185,6 +211,12 @@ def main(argv=None) -> int:
                         help="repetitions for the overhead study")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the fault/monitor campaigns")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="number of consecutive seeds for the faults "
+                             "target (a multi-seed campaign)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for fannable targets "
+                             "(overhead, fig13, faults)")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced workload for CI smoke runs")
     parser.add_argument("--out", default=None,
@@ -204,7 +236,12 @@ def main(argv=None) -> int:
             print()
         t0 = time.perf_counter()
         TARGETS[target](args)
-        print(f"[{target} done in {time.perf_counter() - t0:.1f}s]")
+        # Timing goes to stderr: stdout stays byte-identical across runs
+        # (and across --jobs values), so determinism gates can diff it.
+        print(
+            f"[{target} done in {time.perf_counter() - t0:.1f}s]",
+            file=sys.stderr,
+        )
     return 0
 
 

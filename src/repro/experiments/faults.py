@@ -169,7 +169,7 @@ def _run_workload(
         client = SonataClient(client_mi)
         records = generate_json_records(n_records, fields_per_record=6)
         outcome = {"ok": 0, "failed": 0}
-        done = {}
+        done = cluster.sim.event("campaign-done")
 
         def body():
             yield from client.create_database(_SERVER, _PROVIDER_ID, "bench")
@@ -185,12 +185,12 @@ def _run_workload(
                     # Retries exhausted or the handler kept failing: the
                     # batch is lost, the workload moves on.
                     outcome["failed"] += 1
-            done["at"] = cluster.sim.now
+            done.succeed(cluster.sim.now)
 
         client_mi.client_ult(body(), name="fault-campaign")
-        if not cluster.run_until(lambda: "at" in done, limit=time_limit):
+        if not cluster.run_until_event(done, limit=time_limit):
             raise RuntimeError("fault campaign did not finish in time")
-        makespan = done["at"]
+        makespan = done.value
     return cluster, makespan, outcome["ok"], outcome["failed"]
 
 

@@ -16,7 +16,7 @@ from typing import Optional
 from ..margo import MargoConfig, MargoInstance
 from ..net import Fabric
 from ..services.hepnos import DataLoader, DataLoaderConfig, HEPnOSService
-from ..sim import Simulator
+from ..sim import Simulator, all_of
 from ..symbiosys import Stage, SymbiosysCollector
 from ..symbiosys.analysis import (
     ProfileSummary,
@@ -226,9 +226,10 @@ def run_hepnos_experiment(
         loader.load(flatten_to_pairs(files))
         loaders.append(loader)
 
-    finished = sim.run_until(
-        lambda: all(ld.done for ld in loaders), limit=time_limit
+    all_loaded = all_of(
+        sim, (ld.all_done for ld in loaders), name="hepnos-loaders-done"
     )
+    finished = sim.run_until_event(all_loaded, limit=time_limit)
     if monitor is not None:
         monitor.stop()
     if not finished:

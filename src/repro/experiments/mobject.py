@@ -94,12 +94,9 @@ def run_mobject_experiment(
         clients.append(
             IorClient(mi, "mobject0", rank, ior_config or IorConfig())
         )
-    run_ior_clients(clients)
+    all_done = run_ior_clients(clients)
 
-    finished = sim.run_until(
-        lambda: all(c.finished_at is not None for c in clients),
-        limit=time_limit,
-    )
+    finished = sim.run_until_event(all_done, limit=time_limit)
     if not finished:
         raise RuntimeError("ior clients did not finish in time")
     for c in clients:

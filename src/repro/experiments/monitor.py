@@ -172,7 +172,7 @@ def run_monitor_experiment(
         client = SonataClient(client_mi)
         records = generate_json_records(n_records, fields_per_record=6)
         outcome = {"ok": 0, "failed": 0}
-        done = {}
+        done = cluster.sim.event("campaign-done")
 
         def body():
             yield from client.create_database(_SERVER, _PROVIDER_ID, "bench")
@@ -186,12 +186,12 @@ def run_monitor_experiment(
                     outcome["ok"] += 1
                 except MargoError:
                     outcome["failed"] += 1
-            done["at"] = cluster.sim.now
+            done.succeed(cluster.sim.now)
 
         client_mi.client_ult(body(), name="monitor-campaign")
-        if not cluster.run_until(lambda: "at" in done, limit=time_limit):
+        if not cluster.run_until_event(done, limit=time_limit):
             raise RuntimeError("monitored campaign did not finish in time")
-        makespan = done["at"]
+        makespan = done.value
 
     monitor = cluster.monitor
     result = MonitorExperimentResult(

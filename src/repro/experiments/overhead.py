@@ -25,8 +25,9 @@ from ..symbiosys import Stage
 from ..symbiosys.analysis import profile_summary, system_summary, trace_summary
 from ..symbiosys.monitor import MonitorConfig
 from .configs import HEPnOSConfig, TABLE_IV
-from .hepnos import HEPnOSExperimentResult, run_hepnos_experiment
+from .hepnos import HEPnOSExperimentResult
 from .presets import THETA_KNL, Preset
+from .runner import map_cells, overhead_cell
 
 __all__ = [
     "StageTiming",
@@ -134,58 +135,64 @@ def run_overhead_study(
     preset: Preset = THETA_KNL,
     stages=OVERHEAD_STAGES,
     monitoring: Optional[MonitorConfig] = None,
+    jobs: int = 1,
 ) -> OverheadStudyResult:
     """Figure 13: repeat the data-loader run at each instrumentation
     stage and time it.
 
     ``monitoring`` adds a fifth arm: Full Support with the online
     monitor attached, so the telemetry layer's cost shows up next to the
-    instrumentation stages (its *simulated* overhead must be ~0)."""
+    instrumentation stages (its *simulated* overhead must be ~0).
+
+    ``jobs > 1`` fans the (stage, repetition) cells across worker
+    processes.  Simulated quantities (makespans, trace counts) are
+    unaffected; the per-cell *wall* times then include scheduling
+    contention, so keep ``jobs=1`` when the wall-clock columns matter.
+    """
     if config is None:
         # The paper's overhead study used a dedicated large-scale setup;
         # C2's shape (32 clients, 4 servers) is the closest Table IV row.
         config = TABLE_IV["C2"]
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
-    timings: dict[Stage, StageTiming] = {}
-    for stage in stages:
-        timing = StageTiming(stage=stage)
-        for rep in range(repetitions):
-            t0 = time.perf_counter()
-            result = run_hepnos_experiment(
-                config,
-                events_per_client=events_per_client,
-                stage=stage,
-                preset=preset,
-                seed=1000 + rep,
-            )
-            timing.wall_times.append(time.perf_counter() - t0)
-            timing.sim_makespans.append(result.makespan)
-            timing.trace_events = max(
-                timing.trace_events, result.collector.total_trace_events
-            )
-        timings[stage] = timing
 
+    def cell(stage: Stage, rep: int, mon: Optional[MonitorConfig]) -> dict:
+        return {
+            "config": config,
+            "events_per_client": events_per_client,
+            "stage": stage,
+            "preset": preset,
+            "seed": 1000 + rep,
+            "monitoring": mon,
+        }
+
+    cells = [
+        cell(stage, rep, None)
+        for stage in stages
+        for rep in range(repetitions)
+    ]
+    if monitoring is not None:
+        cells.extend(
+            cell(Stage.FULL, rep, monitoring) for rep in range(repetitions)
+        )
+    outs = iter(map_cells(overhead_cell, cells, jobs=jobs))
+
+    def merge(timing: StageTiming) -> StageTiming:
+        for _ in range(repetitions):
+            out = next(outs)
+            timing.wall_times.append(out["wall"])
+            timing.sim_makespans.append(out["makespan"])
+            timing.trace_events = max(
+                timing.trace_events, out["trace_events"]
+            )
+        return timing
+
+    timings = {stage: merge(StageTiming(stage=stage)) for stage in stages}
     monitored: Optional[StageTiming] = None
     if monitoring is not None:
-        monitored = StageTiming(
-            stage=Stage.FULL, label_override="Full + monitor"
+        monitored = merge(
+            StageTiming(stage=Stage.FULL, label_override="Full + monitor")
         )
-        for rep in range(repetitions):
-            t0 = time.perf_counter()
-            result = run_hepnos_experiment(
-                config,
-                events_per_client=events_per_client,
-                stage=Stage.FULL,
-                preset=preset,
-                seed=1000 + rep,
-                monitoring=monitoring,
-            )
-            monitored.wall_times.append(time.perf_counter() - t0)
-            monitored.sim_makespans.append(result.makespan)
-            monitored.trace_events = max(
-                monitored.trace_events, result.collector.total_trace_events
-            )
     return OverheadStudyResult(timings=timings, monitored=monitored)
 
 

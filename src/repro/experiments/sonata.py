@@ -74,21 +74,21 @@ def run_sonata_experiment(
     records = generate_json_records(
         n_records, fields_per_record=fields_per_record
     )
-    done = {}
+    done = cluster.sim.event("sonata-done")
 
     def body():
         yield from client.create_database("sonata-svr", _PROVIDER_ID, "bench")
         yield from client.store_multi(
             "sonata-svr", _PROVIDER_ID, "bench", records, batch_size=batch_size
         )
-        done["at"] = cluster.sim.now
+        done.succeed(cluster.sim.now)
 
     client_mi.client_ult(body(), name="sonata-bench")
-    if not cluster.run_until(lambda: "at" in done, limit=time_limit):
+    if not cluster.run_until_event(done, limit=time_limit):
         raise RuntimeError("sonata benchmark did not finish in time")
     return SonataExperimentResult(
         collector=cluster.collector,
-        makespan=done["at"],
+        makespan=done.value,
         n_records=n_records,
         batch_size=batch_size,
     )

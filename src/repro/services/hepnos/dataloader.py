@@ -63,6 +63,9 @@ class DataLoader:
         self.events_stored = 0
         self.finished_at = 0.0
         self._workers_live = 0
+        #: Fires (with the completion time) when the last pipeline worker
+        #: of a :meth:`load` drains the queue.
+        self.all_done = mi.sim.event(f"{mi.addr}.loader-done")
 
     def load(self, pairs: list[tuple[str, object]]) -> list[ULT]:
         """Start loading ``pairs`` (event key -> payload); returns the
@@ -95,6 +98,8 @@ class DataLoader:
                 yield from self.mi.rt.join_all(subults)
             self._workers_live -= 1
             self.finished_at = max(self.finished_at, self.mi.sim.now)
+            if self._workers_live == 0:
+                self.all_done.succeed(self.finished_at)
 
         width = min(self.config.pipeline_width, max(1, len(windows)))
         self._workers_live = width

@@ -9,6 +9,7 @@ from .engine import (
     StopSimulation,
     Task,
     Timeout,
+    all_of,
 )
 from .resources import Mutex, Semaphore, Store
 from .rng import RngRegistry
@@ -26,4 +27,5 @@ __all__ = [
     "Store",
     "Task",
     "Timeout",
+    "all_of",
 ]

@@ -16,15 +16,30 @@ yielding *waitables*:
 Subroutines compose with ``yield from``; the kernel never needs to know
 about nesting.
 
-The kernel is fully deterministic: events scheduled for the same timestamp
-fire in the order they were scheduled (a monotonically increasing sequence
-number breaks ties).
+Determinism law (load-bearing for the golden-trace corpus): events
+scheduled for the same timestamp fire in the order they were scheduled.
+Two structures uphold it:
+
+* a ``heapq`` of ``(time, seq, fn, args)`` entries for future events,
+  with a monotonically increasing sequence number breaking timestamp
+  ties, and
+* a plain FIFO *fast lane* (a ``deque``) for events scheduled at the
+  **current** instant -- the dominant case (an event fires, a task
+  resumes, a spawn takes its first step) -- which bypasses the heap
+  entirely.
+
+The split preserves global ordering because once ``now`` has advanced to
+``T``, a heap entry at ``T`` can no longer be created (``call_at(T)``
+lands in the fast lane), so every heap entry at ``T`` predates -- and
+therefore precedes, by sequence number -- every fast-lane entry; the run
+loop drains same-time heap entries before the lane.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -35,6 +50,7 @@ __all__ = [
     "Task",
     "SimulationError",
     "StopSimulation",
+    "all_of",
 ]
 
 
@@ -49,6 +65,8 @@ class StopSimulation(Exception):
 
 class _Waitable:
     """Base class for objects a task may ``yield`` to the kernel."""
+
+    __slots__ = ()
 
     def _subscribe(self, sim: "Simulator", task: "Task") -> None:
         raise NotImplementedError
@@ -66,7 +84,12 @@ class Timeout(_Waitable):
         self.value = value
 
     def _subscribe(self, sim: "Simulator", task: "Task") -> None:
-        sim.call_at(sim.now + self.delay, task._resume, self.value)
+        delay = self.delay
+        if delay == 0.0:
+            # Zero-delay resume: straight onto the same-instant lane.
+            sim._ready.append((task._resume, (self.value,)))
+        else:
+            sim.call_at(sim.now + delay, task._resume, self.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.delay!r})"
@@ -106,10 +129,11 @@ class SimEvent(_Waitable):
         self._fired = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
+        ready = self.sim._ready
         for cb in callbacks:
             # Callbacks run at the *current* simulated instant but through
             # the event queue, preserving deterministic FIFO ordering.
-            self.sim.call_at(self.sim.now, cb, self)
+            ready.append((cb, (self,)))
         return self
 
     def fail(self, exc: BaseException) -> "SimEvent":
@@ -118,30 +142,54 @@ class SimEvent(_Waitable):
         self._fired = True
         self._exc = exc
         callbacks, self._callbacks = self._callbacks, []
+        ready = self.sim._ready
         for cb in callbacks:
-            self.sim.call_at(self.sim.now, cb, self)
+            ready.append((cb, (self,)))
         return self
 
     def add_callback(self, cb: Callable[["SimEvent"], None]) -> None:
         """Invoke ``cb(event)`` once the event fires (immediately if it
         already has)."""
         if self._fired:
-            self.sim.call_at(self.sim.now, cb, self)
+            self.sim._ready.append((cb, (self,)))
         else:
             self._callbacks.append(cb)
 
     def _subscribe(self, sim: "Simulator", task: "Task") -> None:
-        def _on_fire(ev: "SimEvent") -> None:
-            if ev._exc is not None:
-                task._throw(ev._exc)
-            else:
-                task._resume(ev._value)
-
-        self.add_callback(_on_fire)
+        self.add_callback(task._on_event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "fired" if self._fired else "pending"
         return f"SimEvent({self.name!r}, {state})"
+
+
+class _AnyOfWaiter:
+    """Shared first-wins state of one :class:`AnyOf` subscription."""
+
+    __slots__ = ("task", "fired")
+
+    def __init__(self, task: "Task"):
+        self.task = task
+        self.fired = False
+
+    def fire(self, index: int, value: Any = None) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.task._resume((index, value))
+
+
+class _AnyOfBranch:
+    """Event-callback adapter binding one branch index to its waiter."""
+
+    __slots__ = ("waiter", "index")
+
+    def __init__(self, waiter: _AnyOfWaiter, index: int):
+        self.waiter = waiter
+        self.index = index
+
+    def __call__(self, ev: "SimEvent") -> None:
+        self.waiter.fire(self.index, ev._value)
 
 
 class AnyOf(_Waitable):
@@ -160,23 +208,12 @@ class AnyOf(_Waitable):
             raise ValueError("AnyOf requires at least one branch")
 
     def _subscribe(self, sim: "Simulator", task: "Task") -> None:
-        done = {"flag": False}
-
-        def _make_cb(index: int) -> Callable[[Any], None]:
-            def _cb(value: Any = None) -> None:
-                if done["flag"]:
-                    return
-                done["flag"] = True
-                task._resume((index, value))
-
-            return _cb
-
+        waiter = _AnyOfWaiter(task)
         for i, br in enumerate(self.branches):
-            cb = _make_cb(i)
             if isinstance(br, Timeout):
-                sim.call_at(sim.now + br.delay, cb, br.value)
+                sim.call_at(sim.now + br.delay, waiter.fire, i, br.value)
             elif isinstance(br, SimEvent):
-                br.add_callback(lambda ev, _cb=cb: _cb(ev._value))
+                br.add_callback(_AnyOfBranch(waiter, i))
             else:
                 raise SimulationError(
                     f"AnyOf supports Timeout and SimEvent branches, got {br!r}"
@@ -187,35 +224,69 @@ class Task:
     """A running generator task.
 
     ``task.done`` is a :class:`SimEvent` fired with the generator's return
-    value when it finishes (or failed with its exception).
+    value when it finishes (or failed with its exception).  The event is
+    allocated lazily on first access -- most tasks (ULT bodies, progress
+    loops) are never awaited through it, so the common case skips the
+    event, its name string, and its callback list entirely.
     """
 
-    __slots__ = ("sim", "gen", "name", "done", "_finished")
+    __slots__ = (
+        "sim", "gen", "name", "_done", "_finished", "_result", "_exc",
+        "_gen_send", "_gen_throw",
+    )
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "task")
-        self.done = SimEvent(sim, name=f"{self.name}.done")
+        self._done: Optional[SimEvent] = None
         self._finished = False
+        self._result: Any = None
+        self._exc: Optional[BaseException] = None
+        # Bound once: _step runs on every resume of every task.
+        self._gen_send = gen.send
+        self._gen_throw = gen.throw
 
     @property
     def finished(self) -> bool:
         return self._finished
 
-    def _step(self, send: Callable[[], Any]) -> None:
+    @property
+    def done(self) -> SimEvent:
+        ev = self._done
+        if ev is None:
+            ev = self._done = SimEvent(self.sim, name=f"{self.name}.done")
+            if self._finished:
+                # Finished before anyone looked: materialize as already
+                # fired, so late waiters resume immediately (the same
+                # behaviour an eagerly created, already-fired event had).
+                ev._fired = True
+                ev._value = self._result
+                ev._exc = self._exc
+        return ev
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
-            yielded = send()
+            if exc is None:
+                yielded = self._gen_send(value)
+            else:
+                yielded = self._gen_throw(exc)
         except StopIteration as stop:
             self._finished = True
-            self.done.succeed(stop.value)
+            self._result = stop.value
+            if self._done is not None:
+                self._done.succeed(stop.value)
             return
         except StopSimulation:
             raise
-        except BaseException as exc:
+        except BaseException as caught:
             self._finished = True
-            observed = bool(self.done._callbacks) or self.sim.swallow_task_errors
-            self.done.fail(exc)
+            self._exc = caught
+            observed = (
+                self._done is not None and bool(self._done._callbacks)
+            ) or self.sim.swallow_task_errors
+            if self._done is not None:
+                self._done.fail(caught)
             if not observed:
                 raise
             return
@@ -226,28 +297,96 @@ class Task:
         yielded._subscribe(self.sim, self)
 
     def _resume(self, value: Any = None) -> None:
-        self._step(lambda: self.gen.send(value))
+        self._step(value, None)
 
     def _throw(self, exc: BaseException) -> None:
-        self._step(lambda: self.gen.throw(exc))
+        self._step(None, exc)
+
+    def _on_event(self, ev: SimEvent) -> None:
+        if ev._exc is not None:
+            self._step(None, ev._exc)
+        else:
+            self._step(ev._value, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Task({self.name!r}, finished={self._finished})"
 
 
+class _AllOfLatch:
+    """Countdown callback shared by every branch of an :func:`all_of`."""
+
+    __slots__ = ("done", "remaining")
+
+    def __init__(self, done: SimEvent, remaining: int):
+        self.done = done
+        self.remaining = remaining
+
+    def __call__(self, ev: SimEvent) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done.succeed(self.done.sim.now)
+
+
+def all_of(
+    sim: "Simulator", events: Iterable[SimEvent], name: str = "all-of"
+) -> SimEvent:
+    """A latch event that fires once every event in ``events`` has fired.
+
+    The latch's value is the simulated time at which the last branch
+    completed.  Already-fired branches count immediately (through the
+    queue, like any fired-event callback); an empty collection fires the
+    latch at the current instant.
+    """
+    branches = list(events)
+    done = SimEvent(sim, name=name)
+    if not branches:
+        return done.succeed(sim.now)
+    latch = _AllOfLatch(done, len(branches))
+    for ev in branches:
+        ev.add_callback(latch)
+    return done
+
+
+class _Waker:
+    """Disarmable stop hook for :meth:`Simulator.run_until_event`.
+
+    Registered as an event callback; while armed it halts the running
+    simulation at the event's firing instant.  Disarmed once the wait
+    returns, so a stale registration (the wait timed out, the event
+    fired later during a drain) is a no-op instead of a stray stop.
+    """
+
+    __slots__ = ("armed",)
+
+    def __init__(self) -> None:
+        self.armed = True
+
+    def __call__(self, ev: SimEvent) -> None:
+        if self.armed:
+            raise StopSimulation()
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
-    Maintains a priority queue of ``(time, seq, callback)`` entries.  All
-    substrate behaviour -- scheduling, networking, RPC progress -- reduces
-    to callbacks on this queue.
+    Future events live in a priority queue of ``(time, seq, callback,
+    args)`` entries; events scheduled at the current instant ride the
+    FIFO fast lane (see the module docstring for the ordering law).  All
+    substrate behaviour -- scheduling, networking, RPC progress --
+    reduces to callbacks on these two queues.
     """
 
     def __init__(self, *, swallow_task_errors: bool = False):
         self._queue: list[tuple[float, int, Callable, tuple]] = []
+        #: Same-instant FIFO fast lane: ``(callback, args)`` entries
+        #: scheduled for the current ``now``.
+        self._ready: deque[tuple[Callable, tuple]] = deque()
         self._seq = itertools.count()
         self.now: float = 0.0
         self._running = False
+        #: Cumulative callbacks processed (cheap; exposed for the
+        #: benchmark suite's events/sec accounting).
+        self.events_processed = 0
         #: If True, a task that dies with an unhandled exception records it
         #: on ``task.done`` instead of aborting the simulation.  Used by the
         #: failure-injection tests.
@@ -257,9 +396,13 @@ class Simulator:
 
     def call_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` at simulated time ``when``."""
-        if when < self.now:
+        now = self.now
+        if when == now:
+            self._ready.append((fn, args))
+            return
+        if when < now:
             raise SimulationError(
-                f"cannot schedule in the past: {when} < now {self.now}"
+                f"cannot schedule in the past: {when} < now {now}"
             )
         heapq.heappush(self._queue, (when, next(self._seq), fn, args))
 
@@ -275,7 +418,7 @@ class Simulator:
         """Start a generator as a task.  The first step runs at the current
         simulated instant (through the queue, preserving order)."""
         task = Task(self, gen, name=name)
-        self.call_at(self.now, task._resume, None)
+        self._ready.append((task._resume, (None,)))
         return task
 
     # -- execution --------------------------------------------------------
@@ -290,54 +433,133 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        # Localized hot bindings: every name in the loop below is a local.
+        queue = self._queue
+        ready = self._ready
+        ready_popleft = ready.popleft
+        heappop = heapq.heappop
+        now = self.now
         processed = 0
         try:
-            while self._queue:
-                when, _, fn, args = self._queue[0]
-                if until is not None and when > until:
-                    self.now = until
+            while True:
+                # Same-time heap entries predate (and so must precede)
+                # everything in the fast lane -- see the ordering law.
+                if queue and queue[0][0] <= now:
+                    entry = heappop(queue)
+                    try:
+                        entry[2](*entry[3])
+                    except StopSimulation:
+                        processed += 1
+                        break
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
+                elif ready:
+                    # Tight same-instant drain.  While now == T, call_at
+                    # routes every new T-entry here (a past time raises),
+                    # so no heap entry at <= now can appear mid-drain and
+                    # the heap needs no re-peek until the lane is empty.
+                    try:
+                        while ready:
+                            fn, args = ready_popleft()
+                            fn(*args)
+                            processed += 1
+                            if (
+                                max_events is not None
+                                and processed >= max_events
+                            ):
+                                break
+                    except StopSimulation:
+                        processed += 1
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                elif queue:
+                    when = queue[0][0]
+                    if until is not None and when > until:
+                        now = until
+                        break
+                    entry = heappop(queue)
+                    now = self.now = when
+                    try:
+                        entry[2](*entry[3])
+                    except StopSimulation:
+                        processed += 1
+                        break
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
+                else:
+                    if until is not None and until > now:
+                        now = until
                     break
-                heapq.heappop(self._queue)
-                self.now = when
-                try:
-                    fn(*args)
-                except StopSimulation:
-                    break
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
-            else:
-                if until is not None and until > self.now:
-                    self.now = until
         finally:
+            self.now = now
             self._running = False
-        return self.now
+            self.events_processed += processed
+        return now
+
+    def run_until_event(
+        self, event: SimEvent, limit: Optional[float] = None
+    ) -> bool:
+        """Process events until ``event`` fires; the event-driven wait.
+
+        Stops *at the firing instant*: the waker rides the event's
+        callback list through the FIFO lane, so callbacks registered
+        before this wait still run at that instant, and nothing after it
+        -- no fixed-step idle tail -- is simulated.  ``limit`` bounds
+        simulated time.  Returns whether the event has fired.
+        """
+        if event._fired:
+            return True
+        if event.sim is not self:
+            raise SimulationError("event belongs to a different simulator")
+        waker = _Waker()
+        event.add_callback(waker)
+        try:
+            self.run(until=limit)
+        finally:
+            waker.armed = False
+        return event._fired
 
     def run_until(
         self,
         predicate: Callable[[], bool],
         limit: float,
-        step: float = 5e-3,
     ) -> bool:
-        """Advance simulated time in ``step`` increments until
-        ``predicate()`` is true or ``limit`` is reached.
+        """Advance until ``predicate()`` is true or ``limit`` is reached.
 
-        Avoids simulating long idle tails (e.g. progress loops polling
-        after a workload finished).  Returns the predicate's final value.
+        The predicate is checked after every processed event, so the
+        simulation stops exactly at the instant the predicate flips --
+        no events past it are processed.  The per-event check makes this
+        the *convenience* wait for tests and ad-hoc probes; hot paths
+        should signal completion through a :class:`SimEvent` and use
+        :meth:`run_until_event`, which costs nothing per event.
         """
-        if step <= 0:
-            raise ValueError("step must be positive")
-        while not predicate() and self.now < limit:
-            self.run(until=min(limit, self.now + step))
+        if predicate():
+            return True
+        while self.now < limit and (self._ready or self._queue):
+            if self._queue and not self._ready:
+                when = self._queue[0][0]
+                if when > limit:
+                    self.now = limit
+                    break
+            self.run(until=limit, max_events=1)
+            if predicate():
+                return True
+        if self.now < limit and not (self._ready or self._queue):
+            self.now = limit
         return predicate()
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next queued event, or None if the queue is empty."""
+        if self._ready:
+            return self.now
         return self._queue[0][0] if self._queue else None
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._ready)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self.now}, pending={len(self._queue)})"
+        return f"Simulator(now={self.now}, pending={self.pending_events})"

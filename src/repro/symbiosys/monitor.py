@@ -393,6 +393,53 @@ class PeriodicSampler:
         self.sim.call_at(self.sim.now + self.interval, self._tick)
 
 
+class _PvarRow:
+    """One NO_OBJECT PVAR in a process's cached sampling plan.
+
+    ``metric``/``series`` stay None until the PVAR first reports a
+    non-None value (LOWWATERMARKs are None until sampled) -- exactly the
+    lazy creation the uncached path had, so exports are byte-identical.
+    """
+
+    __slots__ = ("d", "is_counter", "metric", "series")
+
+    def __init__(self, d, is_counter: bool):
+        self.d = d
+        self.is_counter = is_counter
+        self.metric = None
+        self.series = None
+
+
+class _GaugeRow:
+    """A resolved (gauge, ring-buffer series) pair."""
+
+    __slots__ = ("metric", "series")
+
+    def __init__(self, metric, series):
+        self.metric = metric
+        self.series = series
+
+    def record(self, t: float, value) -> None:
+        self.metric.set(value)
+        self.series.append(t, value)
+
+
+class _ProcessPlan:
+    """Per-process sampling plan: every name/label/PVAR-index resolution
+    the sampler needs, done once at build time instead of every tick.
+
+    Invalidated (and rebuilt) when the process's PVAR registry, Argobots
+    runtime, or handler pool is replaced or grows -- the staleness checks
+    in :meth:`Monitor.sample`.
+    """
+
+    __slots__ = (
+        "addr", "pvars", "n_pvars", "pvar_rows", "rt", "pool",
+        "depth", "depth_hist", "ready", "blocked", "running",
+        "busy", "memory",
+    )
+
+
 class Monitor:
     """The online telemetry hub for one simulated cluster.
 
@@ -422,6 +469,9 @@ class Monitor:
         #: addr -> simulated time of the last progress-loop iteration.
         self.last_progress: dict[str, float] = {}
         self._processes: dict[str, "MargoInstance"] = {}
+        self._plans: dict[str, _ProcessPlan] = {}
+        self._fabric_plan: Optional[tuple] = None
+        self._progress_counters: dict[str, object] = {}
         self.detectors: list[AnomalyDetector] = [
             _BUILTIN_DETECTORS[name](self.config)
             for name in self.config.detectors
@@ -450,11 +500,15 @@ class Monitor:
 
     def _on_progress(self, addr: str, t: float, n: int) -> None:
         self.last_progress[addr] = t
-        self.registry.counter(
-            "hg_progress_iterations",
-            "Progress-loop iterations completed",
-            labels={"process": addr},
-        ).inc()
+        counter = self._progress_counters.get(addr)
+        if counter is None:
+            # Created on first iteration (not at attach), as before.
+            counter = self._progress_counters[addr] = self.registry.counter(
+                "hg_progress_iterations",
+                "Progress-loop iterations completed",
+                labels={"process": addr},
+            )
+        counter.inc()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -476,85 +530,133 @@ class Monitor:
     def sample(self, t: float) -> None:
         """Snapshot every watched quantity at simulated time ``t``."""
         for addr, mi in self._processes.items():
-            labels = {"process": addr}
-            self._sample_pvars(t, mi, labels)
-            self._sample_tasking(t, mi, labels)
+            plan = self._plans.get(addr)
+            if (
+                plan is None
+                or plan.pvars is not mi.hg.pvars
+                or plan.n_pvars != mi.hg.pvars.num_pvars
+                or plan.rt is not mi.rt
+                or plan.pool is not mi.handler_pool
+            ):
+                plan = self._plans[addr] = self._build_plan(addr, mi)
+            self._sample_pvars(t, plan)
+            self._sample_tasking(t, mi, plan)
         if self.fabric is not None:
-            self._record_gauge(
-                t,
-                "fabric_inflight_bytes",
-                "Bytes currently on the wire (sent, not yet delivered)",
-                None,
-                self.fabric.inflight_bytes,
-            )
-            self._record_counter(
-                t,
-                "fabric_total_bytes",
-                "Cumulative bytes injected into the fabric",
-                None,
-                self.fabric.total_bytes,
-            )
+            fp = self._fabric_plan
+            if fp is None:
+                fp = self._fabric_plan = (
+                    _GaugeRow(
+                        self.registry.gauge(
+                            "fabric_inflight_bytes",
+                            "Bytes currently on the wire (sent, not yet "
+                            "delivered)",
+                            None,
+                        ),
+                        self.store.series("fabric_inflight_bytes", None),
+                    ),
+                    self.registry.counter(
+                        "fabric_total_bytes",
+                        "Cumulative bytes injected into the fabric",
+                        None,
+                    ),
+                    self.store.series("fabric_total_bytes", None),
+                )
+            fp[0].record(t, self.fabric.inflight_bytes)
+            total = self.fabric.total_bytes
+            fp[1].set_total(total)
+            fp[2].append(t, total)
         for detector in self.detectors:
             self.findings.extend(detector.on_sample(t, self))
 
-    def _sample_pvars(self, t: float, mi: "MargoInstance", labels: dict) -> None:
+    def _build_plan(self, addr: str, mi: "MargoInstance") -> _ProcessPlan:
+        """Resolve every name/PVAR lookup the sampler will make for
+        ``mi`` once, so the per-tick hot loop touches only cached
+        handles."""
+        labels = {"process": addr}
         pvars = mi.hg.pvars
-        for i in range(pvars.num_pvars):
-            d = pvars.info(i)
-            if d.binding is not PvarBinding.NO_OBJECT:
-                continue  # HANDLE-bound values have no global snapshot
-            value = pvars.raw_value(d.name)
-            if value is None:
-                continue  # LOWWATERMARK with no sample yet
-            name = f"pvar_{d.name}"
-            if d.pvar_class is PvarClass.COUNTER:
-                self._record_counter(t, name, d.description, labels, value)
-            else:
-                self._record_gauge(t, name, d.description, labels, value)
+        plan = _ProcessPlan()
+        plan.addr = addr
+        plan.pvars = pvars
+        plan.n_pvars = pvars.num_pvars
+        plan.pvar_rows = [
+            _PvarRow(d, d.pvar_class is PvarClass.COUNTER)
+            for d in (pvars.info(i) for i in range(pvars.num_pvars))
+            # HANDLE-bound values have no global snapshot.
+            if d.binding is PvarBinding.NO_OBJECT
+        ]
+        plan.rt = mi.rt
+        plan.pool = mi.handler_pool
 
-    def _sample_tasking(self, t: float, mi: "MargoInstance", labels: dict) -> None:
-        rt = mi.rt
-        depth = len(mi.handler_pool)
-        self._record_gauge(
-            t, "abt_handler_pool_depth",
-            "ULTs queued in the handler pool", labels, depth,
+        def gauge_row(name: str, help: str) -> _GaugeRow:
+            return _GaugeRow(
+                self.registry.gauge(name, help, labels),
+                self.store.series(name, labels),
+            )
+
+        plan.depth = gauge_row(
+            "abt_handler_pool_depth", "ULTs queued in the handler pool"
         )
-        self.registry.histogram(
+        plan.depth_hist = self.registry.histogram(
             "abt_handler_pool_depth_hist",
             "Distribution of sampled handler-pool depths",
             labels=labels,
-        ).observe(depth)
-        self._record_gauge(
-            t, "abt_num_ready",
-            "ULTs queued in pools, waiting for an ES", labels, rt.num_ready,
         )
-        self._record_gauge(
-            t, "abt_num_blocked",
-            "ULTs blocked on an eventual or mutex", labels, rt.num_blocked,
+        plan.ready = gauge_row(
+            "abt_num_ready", "ULTs queued in pools, waiting for an ES"
         )
-        self._record_gauge(
-            t, "abt_num_running",
-            "ULTs currently executing on an ES", labels, rt.num_running,
+        plan.blocked = gauge_row(
+            "abt_num_blocked", "ULTs blocked on an eventual or mutex"
         )
+        plan.running = gauge_row(
+            "abt_num_running", "ULTs currently executing on an ES"
+        )
+        plan.busy = gauge_row(
+            "abt_busy_fraction",
+            "Mean cumulative ES busy time over elapsed time",
+        )
+        plan.memory = gauge_row(
+            "process_memory_bytes", "Simulated process memory gauge"
+        )
+        return plan
+
+    def _sample_pvars(self, t: float, plan: _ProcessPlan) -> None:
+        values = plan.pvars._values
+        for row in plan.pvar_rows:
+            d = row.d
+            getter = d.getter
+            value = getter() if getter is not None else values[d.name]
+            if value is None:
+                continue  # LOWWATERMARK with no sample yet
+            metric = row.metric
+            if metric is None:
+                name = f"pvar_{d.name}"
+                labels = {"process": plan.addr}
+                if row.is_counter:
+                    metric = self.registry.counter(name, d.description, labels)
+                else:
+                    metric = self.registry.gauge(name, d.description, labels)
+                row.metric = metric
+                row.series = self.store.series(name, labels)
+            if row.is_counter:
+                metric.set_total(value)
+            else:
+                metric.set(value)
+            row.series.append(t, value)
+
+    def _sample_tasking(
+        self, t: float, mi: "MargoInstance", plan: _ProcessPlan
+    ) -> None:
+        rt = plan.rt
+        depth = len(plan.pool)
+        plan.depth.record(t, depth)
+        plan.depth_hist.observe(depth)
+        plan.ready.record(t, rt.num_ready)
+        plan.blocked.record(t, rt.num_blocked)
+        plan.running.record(t, rt.num_running)
         # busy_fraction() is a pure read; ProcessStats.cpu_utilization()
         # would perturb the delta-sample state the trace layer shares.
-        self._record_gauge(
-            t, "abt_busy_fraction",
-            "Mean cumulative ES busy time over elapsed time", labels,
-            rt.busy_fraction(),
-        )
-        self._record_gauge(
-            t, "process_memory_bytes",
-            "Simulated process memory gauge", labels, mi.stats.memory_bytes,
-        )
-
-    def _record_gauge(self, t, name, help, labels, value) -> None:
-        self.registry.gauge(name, help, labels).set(value)
-        self.store.series(name, labels).append(t, value)
-
-    def _record_counter(self, t, name, help, labels, value) -> None:
-        self.registry.counter(name, help, labels).set_total(value)
-        self.store.series(name, labels).append(t, value)
+        plan.busy.record(t, rt.busy_fraction())
+        plan.memory.record(t, mi.stats.memory_bytes)
 
     # -- reporting ----------------------------------------------------------
 

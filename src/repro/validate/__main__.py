@@ -55,6 +55,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fault_fraction=args.fault_fraction,
         repro_path=args.repro,
         log=print,
+        jobs=args.jobs,
     )
     print(
         f"fuzz: {result.configs_run} config(s) run, "
@@ -117,6 +118,13 @@ def main(argv=None) -> int:
     )
     p_fuzz.add_argument(
         "--replay", default=None, help="replay a previously written repro file"
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the config checks (result is "
+        "identical to --jobs 1; shrinking stays sequential)",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
 

@@ -318,24 +318,13 @@ def load_repro(path: str) -> FuzzConfig:
     return FuzzConfig.from_dict(data)
 
 
-def fuzz_sweep(
-    *,
-    seeds: range | list[int] = range(4),
-    workloads: tuple[str, ...] = ("echo", "sonata"),
-    presets: tuple[str, ...] = ("fast",),
-    fault_fraction: float = 0.5,
-    repro_path: Optional[str] = None,
-    log: Callable[[str], None] = lambda s: None,
-    stop_on_failure: bool = True,
-) -> SweepResult:
-    """The fuzz campaign: seeds x workloads x presets, with a random
-    fault plan on ``fault_fraction`` of the configs.
-
-    Failures are shrunk and (if ``repro_path`` is given) written as a
-    repro file.  With ``stop_on_failure`` the sweep aborts at the first
-    failure -- the CI smoke mode.
-    """
-    result = SweepResult()
+def _sweep_configs(
+    seeds, workloads, presets, fault_fraction: float
+) -> list[FuzzConfig]:
+    """The sweep's configuration matrix, in deterministic order (plan
+    generation consumes the per-seed RNG identically regardless of how
+    the configs are later dispatched)."""
+    configs = []
     for workload in workloads:
         for preset in presets:
             for seed in seeds:
@@ -345,27 +334,72 @@ def fuzz_sweep(
                     if rng.random() < fault_fraction
                     else None
                 )
-                config = FuzzConfig(
-                    seed=seed, workload=workload, preset=preset, plan=plan
+                configs.append(
+                    FuzzConfig(
+                        seed=seed, workload=workload, preset=preset, plan=plan
+                    )
                 )
-                log(f"fuzz: {config.describe()}")
-                result.configs_run += 1
-                detail = check_config(config)
-                if detail is None:
-                    continue
-                kind = detail.split(":", 1)[0]
-                log(f"  FAILED ({detail}); shrinking...")
-                shrunk = shrink(
-                    config, lambda c: check_config(c) is not None
-                )
-                report = FailureReport(
-                    config=config, kind=kind, detail=detail, shrunk=shrunk
-                )
-                result.failures.append(report)
-                log(f"  shrunk to: {shrunk.describe()}")
-                if repro_path is not None:
-                    write_repro(report, repro_path)
-                    log(f"  repro written to {repro_path}")
-                if stop_on_failure:
-                    return result
+    return configs
+
+
+def fuzz_sweep(
+    *,
+    seeds: range | list[int] = range(4),
+    workloads: tuple[str, ...] = ("echo", "sonata"),
+    presets: tuple[str, ...] = ("fast",),
+    fault_fraction: float = 0.5,
+    repro_path: Optional[str] = None,
+    log: Callable[[str], None] = lambda s: None,
+    stop_on_failure: bool = True,
+    jobs: int = 1,
+) -> SweepResult:
+    """The fuzz campaign: seeds x workloads x presets, with a random
+    fault plan on ``fault_fraction`` of the configs.
+
+    Failures are shrunk and (if ``repro_path`` is given) written as a
+    repro file.  With ``stop_on_failure`` the sweep aborts at the first
+    failure -- the CI smoke mode.
+
+    ``jobs > 1`` checks the configurations in parallel worker processes
+    (shrinking stays sequential -- ddmin is adaptive).  The reported
+    result is identical to ``jobs=1``: failures are examined in matrix
+    order, and with ``stop_on_failure`` only the first one counts, even
+    if later cells (already dispatched) also failed.
+    """
+    configs = _sweep_configs(seeds, workloads, presets, fault_fraction)
+    result = SweepResult()
+
+    if jobs > 1:
+        from ..experiments.runner import fuzz_check_cell, map_cells
+
+        for config in configs:
+            log(f"fuzz: {config.describe()}")
+        details = map_cells(
+            fuzz_check_cell, [c.to_dict() for c in configs], jobs=jobs
+        )
+    else:
+        details = None
+
+    for i, config in enumerate(configs):
+        if details is not None:
+            detail = details[i]
+        else:
+            log(f"fuzz: {config.describe()}")
+            detail = check_config(config)
+        result.configs_run += 1
+        if detail is None:
+            continue
+        kind = detail.split(":", 1)[0]
+        log(f"  FAILED ({detail}); shrinking...")
+        shrunk = shrink(config, lambda c: check_config(c) is not None)
+        report = FailureReport(
+            config=config, kind=kind, detail=detail, shrunk=shrunk
+        )
+        result.failures.append(report)
+        log(f"  shrunk to: {shrunk.describe()}")
+        if repro_path is not None:
+            write_repro(report, repro_path)
+            log(f"  repro written to {repro_path}")
+        if stop_on_failure:
+            return result
     return result

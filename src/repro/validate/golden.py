@@ -27,7 +27,7 @@ from ..symbiosys.exporters import series_to_csv, to_prometheus
 from ..symbiosys.monitor import MonitorConfig
 from ..symbiosys.perfetto import chrome_trace_json
 from .invariants import ValidationConfig
-from .workloads import RunArtifacts, run_workload
+from .workloads import RunArtifacts, legacy_settle_until, run_workload
 
 __all__ = [
     "GOLDEN_SEED",
@@ -118,7 +118,9 @@ def _run_sdskv() -> RunArtifacts:
             done["at"] = cluster.sim.now
 
         client_mi.client_ult(body(), name="golden-sdskv")
-        if not cluster.run_until(lambda: "at" in done, limit=5.0):
+        if not legacy_settle_until(
+            cluster.sim, lambda: "at" in done, limit=5.0
+        ):
             raise RuntimeError("golden sdskv run did not finish")
     return _artifacts(cluster, "sdskv", done["at"], count["ok"])
 
@@ -149,7 +151,9 @@ def _run_bake() -> RunArtifacts:
             done["at"] = cluster.sim.now
 
         client_mi.client_ult(body(), name="golden-bake")
-        if not cluster.run_until(lambda: "at" in done, limit=5.0):
+        if not legacy_settle_until(
+            cluster.sim, lambda: "at" in done, limit=5.0
+        ):
             raise RuntimeError("golden bake run did not finish")
     return _artifacts(cluster, "bake", done["at"], count["ok"])
 
@@ -195,7 +199,9 @@ def _run_hepnos() -> RunArtifacts:
             done["at"] = cluster.sim.now
 
         client_mi.client_ult(body(), name="golden-hepnos")
-        if not cluster.run_until(lambda: "at" in done, limit=5.0):
+        if not legacy_settle_until(
+            cluster.sim, lambda: "at" in done, limit=5.0
+        ):
             raise RuntimeError("golden hepnos run did not finish")
     return _artifacts(cluster, "hepnos", done["at"], count["ok"])
 

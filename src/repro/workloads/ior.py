@@ -15,7 +15,7 @@ import numpy as np
 
 from ..margo import MargoInstance
 from ..services.mobject import MobjectClient
-from ..sim import RngRegistry
+from ..sim import RngRegistry, SimEvent, all_of
 
 __all__ = ["IorConfig", "IorClient", "run_ior_clients"]
 
@@ -59,6 +59,8 @@ class IorClient:
         self.write_errors = 0
         self.read_mismatches = 0
         self.finished_at: Optional[float] = None
+        #: Fires (with the completion time) when :meth:`body` finishes.
+        self.finished = mi.sim.event(f"ior.rank{rank}.finished")
 
     def _object_id(self, index: int) -> str:
         return f"ior.rank{self.rank}.obj{index}"
@@ -82,9 +84,14 @@ class IorClient:
                     if got != expect:
                         self.read_mismatches += 1
         self.finished_at = self.mi.sim.now
+        self.finished.succeed(self.finished_at)
 
 
-def run_ior_clients(clients: list[IorClient]) -> None:
-    """Spawn every client's body as a ULT on its own process."""
+def run_ior_clients(clients: list[IorClient]) -> SimEvent:
+    """Spawn every client's body as a ULT on its own process; returns a
+    latch event that fires once every client has finished (so callers
+    can wait event-driven instead of polling a predicate)."""
     for client in clients:
         client.mi.client_ult(client.body(), name=f"ior.rank{client.rank}")
+    sim = clients[0].mi.sim
+    return all_of(sim, (c.finished for c in clients), name="ior-clients-done")

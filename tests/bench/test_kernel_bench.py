@@ -1,0 +1,32 @@
+"""The kernel/macro benchmark bodies run correctly at tiny scales."""
+
+from repro.bench.kernel import (
+    bench_anyof,
+    bench_event_churn,
+    bench_fast_lane,
+    bench_rpc_round_trip,
+    bench_spawn_resume,
+)
+
+
+def test_event_churn_counts_events():
+    units, name = bench_event_churn(50)
+    # Up to three in-flight chain ticks land after the target is hit.
+    assert 50 <= units <= 53
+    assert name == "events"
+
+
+def test_fast_lane_counts_events():
+    assert bench_fast_lane(50) == (50, "events")
+
+
+def test_spawn_resume_counts_resumes():
+    assert bench_spawn_resume(4, 5) == (20, "resumes")
+
+
+def test_anyof_counts_waits():
+    assert bench_anyof(10) == (10, "waits")
+
+
+def test_rpc_round_trip_completes():
+    assert bench_rpc_round_trip(5) == (5, "rpcs")

@@ -1,0 +1,52 @@
+"""Parallel fan-out determinism: --jobs N must equal --jobs 1."""
+
+from repro.experiments.overhead import run_overhead_study
+from repro.experiments.runner import map_cells, run_fault_campaigns
+from repro.symbiosys import Stage
+
+
+def _square(cell):
+    return cell["x"] * cell["x"]
+
+
+def test_map_cells_inline_matches_pool():
+    cells = [{"x": i} for i in range(6)]
+    inline = map_cells(_square, cells, jobs=1)
+    pooled = map_cells(_square, cells, jobs=3)
+    assert inline == pooled == [0, 1, 4, 9, 16, 25]
+
+
+def test_map_cells_single_cell_skips_pool():
+    assert map_cells(_square, [{"x": 4}], jobs=8) == [16]
+
+
+def test_overhead_study_jobs_identical_sim_quantities():
+    kwargs = dict(
+        repetitions=2,
+        events_per_client=32,
+        stages=(Stage.OFF, Stage.FULL),
+    )
+    serial = run_overhead_study(**kwargs, jobs=1)
+    parallel = run_overhead_study(**kwargs, jobs=2)
+    for stage in (Stage.OFF, Stage.FULL):
+        assert (
+            serial.timings[stage].sim_makespans
+            == parallel.timings[stage].sim_makespans
+        )
+        assert (
+            serial.timings[stage].trace_events
+            == parallel.timings[stage].trace_events
+        )
+
+
+def test_fault_campaigns_ordered_by_seed_and_jobs_identical():
+    kwargs = dict(n_records=400, batch_size=100)
+    serial = run_fault_campaigns([0, 1], jobs=1, **kwargs)
+    parallel = run_fault_campaigns([0, 1], jobs=2, **kwargs)
+    assert [r.seed for r in serial] == [0, 1]
+    for a, b in zip(serial, parallel):
+        assert a.seed == b.seed
+        assert a.baseline_makespan == b.baseline_makespan
+        assert a.faulted_makespan == b.faulted_makespan
+        assert a.fault_events == b.fault_events
+        assert a.report() == b.report()

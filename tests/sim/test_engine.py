@@ -336,23 +336,33 @@ def test_run_until_stops_on_predicate():
     hits = []
     for i in range(100):
         sim.call_at(float(i), hits.append, i)
-    ok = sim.run_until(lambda: len(hits) >= 10, limit=1000.0, step=1.0)
+    ok = sim.run_until(lambda: len(hits) >= 10, limit=1000.0)
     assert ok
-    assert 10 <= len(hits) <= 12  # stops within a step of the predicate
-    assert sim.now < 15.0
+    # Event-driven: stops exactly at the event that flipped the predicate,
+    # with no idle tail simulated past it.
+    assert len(hits) == 10
+    assert sim.now == 9.0
 
 
 def test_run_until_respects_limit():
     sim = Simulator()
-    ok = sim.run_until(lambda: False, limit=5.0, step=1.0)
+    ok = sim.run_until(lambda: False, limit=5.0)
     assert not ok
     assert sim.now == 5.0
 
 
-def test_run_until_validates_step():
+def test_run_until_does_not_run_past_firing_instant():
+    # Regression: the old fixed-step implementation kept processing
+    # events up to the next step boundary after the predicate flipped.
     sim = Simulator()
-    with pytest.raises(ValueError):
-        sim.run_until(lambda: True, limit=1.0, step=0)
+    hits = []
+    sim.call_at(1.0, hits.append, "a")
+    sim.call_at(1.5, hits.append, "b")  # must NOT be processed
+    ok = sim.run_until(lambda: "a" in hits, limit=10.0)
+    assert ok
+    assert hits == ["a"]
+    assert sim.now == 1.0
+    assert sim.pending_events == 1
 
 
 def test_run_until_immediate_predicate():
