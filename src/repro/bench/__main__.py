@@ -7,20 +7,25 @@ Usage::
     python -m repro.bench --suite kernel     # one suite only
     python -m repro.bench --compare OLD.json # embed OLD as the baseline
     python -m repro.bench --check BASE.json  # fail on >25% regression
+    python -m repro.bench --max-ratio hepnos_monitor/hepnos=1.20
+                                             # gate a same-run overhead ratio
 
 ``--check`` compares machine-normalized costs (median / calibration
 constant), so a committed baseline from one machine still gates runs on
-another; see ``docs/performance.md``.
+another; see ``docs/performance.md``.  ``--compare`` also appends a
+dated entry to the ``history`` list carried inside each BENCH JSON, so
+successive runs accumulate a perf trajectory instead of erasing it.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import sys
 
-from .harness import check_regressions, write_suite
+from .harness import check_ratios, check_regressions, history_entry, write_suite
 from .kernel import run_kernel_benchmarks
 from .macro import run_macro_benchmarks
 
@@ -44,6 +49,32 @@ def _baseline_for(compare: dict, suite_name: str) -> dict | None:
     return entry if isinstance(entry, dict) else None
 
 
+def _prior_history(path: str, baseline: dict | None) -> list:
+    """The dated trajectory to carry forward: the destination file's
+    ``history`` if it exists (the usual overwrite-in-place flow), else
+    the baseline's (first ``--compare`` run after the format change)."""
+    try:
+        prior = _load(path).get("history")
+    except (OSError, ValueError):
+        prior = None
+    if prior is None and baseline is not None:
+        prior = baseline.get("history")
+    return list(prior) if isinstance(prior, list) else []
+
+
+def _parse_ratio(spec: str) -> tuple[str, str, float]:
+    """Parse a ``NUM/DEN=LIMIT`` gate spec, e.g.
+    ``hepnos_monitor/hepnos=1.20``."""
+    try:
+        pair, limit = spec.rsplit("=", 1)
+        num, den = pair.split("/", 1)
+        return num.strip(), den.strip(), float(limit)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NUM/DEN=LIMIT, got {spec!r}"
+        ) from None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -65,6 +96,12 @@ def main(argv=None) -> int:
                         help="exit 1 on >--threshold regression vs BASELINE")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed relative regression for --check")
+    parser.add_argument(
+        "--max-ratio", action="append", type=_parse_ratio, default=[],
+        metavar="NUM/DEN=LIMIT",
+        help="exit 1 when median(NUM)/median(DEN) exceeds LIMIT "
+             "(repeatable; e.g. hepnos_monitor/hepnos=1.20)",
+    )
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
     args = parser.parse_args(argv)
@@ -74,6 +111,8 @@ def main(argv=None) -> int:
     check = _load(args.check) if args.check else None
     suites = list(_SUITES) if args.suite == "all" else [args.suite]
     failures: list[str] = []
+    all_results: dict[str, dict] = {}
+    today = datetime.date.today().isoformat()
 
     os.makedirs(args.out, exist_ok=True)
     for name in suites:
@@ -84,7 +123,12 @@ def main(argv=None) -> int:
         suite = run(**kwargs)
         path = os.path.join(args.out, filename)
         baseline = compare and _baseline_for(compare, name)
-        payload = write_suite(suite, path, baseline=baseline)
+        history = None
+        if compare is not None:
+            history = _prior_history(path, baseline)
+            history.append(history_entry(suite, today))
+        payload = write_suite(suite, path, baseline=baseline, history=history)
+        all_results.update(payload.get("results", {}))
         print(f"{name}: wrote {path}")
         for row in suite.rows():
             line = f"  {row['benchmark']:<16} {row['median']:>10}  {row['rate']}"
@@ -104,8 +148,15 @@ def main(argv=None) -> int:
                     )
                 )
 
+    if args.max_ratio:
+        ratio_failures = check_ratios({"results": all_results}, args.max_ratio)
+        failures.extend(f"ratio/{msg}" for msg in ratio_failures)
+        if not ratio_failures:
+            gates = ", ".join(f"{a}/{b}<={lim}" for a, b, lim in args.max_ratio)
+            print(f"bench --max-ratio passed ({gates})")
+
     if failures:
-        print("bench --check FAILED:")
+        print("bench gate FAILED:")
         for msg in failures:
             print(f"  {msg}")
         return 1

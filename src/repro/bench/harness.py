@@ -23,8 +23,10 @@ __all__ = [
     "BenchResult",
     "SuiteResult",
     "calibrate",
+    "check_ratios",
     "check_regressions",
     "compare_suites",
+    "history_entry",
     "machine_meta",
     "time_bench",
     "write_suite",
@@ -143,9 +145,16 @@ def write_suite(
     suite: SuiteResult,
     path: str,
     baseline: Optional[dict] = None,
+    history: Optional[list] = None,
 ) -> dict:
     """Write ``suite`` as JSON; with ``baseline`` (an older suite dict),
-    embed it and the per-benchmark speedups for trajectory tracking."""
+    embed it and the per-benchmark speedups for trajectory tracking.
+
+    ``history`` is the dated run trajectory carried in the file: the
+    caller passes the previous file's entries plus the new one (see
+    :func:`history_entry`), so re-running ``--compare`` accumulates the
+    perf trajectory across PRs instead of overwriting it.
+    """
     payload = suite.to_dict()
     if baseline is not None:
         payload["baseline"] = {
@@ -153,10 +162,22 @@ def write_suite(
             "results": baseline.get("results", {}),
         }
         payload["speedup_vs_baseline"] = compare_suites(baseline, payload)
+    if history is not None:
+        payload["history"] = history
     with open(path, "w", newline="\n") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     return payload
+
+
+def history_entry(suite: SuiteResult, date: str) -> dict:
+    """One dated trajectory entry: medians plus the calibration constant
+    needed to normalize them later."""
+    return {
+        "date": date,
+        "calibration_s": suite.meta.get("calibration_s"),
+        "results": {r.name: round(r.median_s, 6) for r in suite.results},
+    }
 
 
 def _normalized(entry: dict, meta: dict) -> Optional[float]:
@@ -185,6 +206,33 @@ def compare_suites(old: dict, new: dict) -> dict:
         if n > 0:
             speedups[name] = round(o / n, 3)
     return speedups
+
+
+def check_ratios(current: dict, ratios: list[tuple[str, str, float]]) -> list[str]:
+    """Gate same-run median ratios, e.g. the monitored arm's overhead
+    over the unmonitored one: each ``(numerator, denominator, limit)``
+    fails when ``median(numerator) / median(denominator) > limit``.
+    Both medians come from the same run on the same machine, so no
+    calibration normalization is needed (or wanted)."""
+    failures = []
+    results = current.get("results", {})
+    for num, den, limit in ratios:
+        num_entry = results.get(num)
+        den_entry = results.get(den)
+        if num_entry is None or den_entry is None:
+            missing = [n for n in (num, den) if n not in results]
+            failures.append(f"{num}/{den}: missing {', '.join(missing)}")
+            continue
+        den_median = den_entry["median_s"]
+        if den_median <= 0:
+            failures.append(f"{num}/{den}: zero denominator median")
+            continue
+        ratio = num_entry["median_s"] / den_median
+        if ratio > limit:
+            failures.append(
+                f"{num}/{den}: ratio {ratio:.3f} exceeds limit {limit:.3f}"
+            )
+    return failures
 
 
 def check_regressions(

@@ -1,0 +1,121 @@
+"""Instrumentation microbenchmarks: the measurement hot paths.
+
+The observation layer's pitch is *near-zero overhead*, so its three hot
+paths are regression-gated alongside the kernel suite:
+
+* ``trace_append`` -- columnar :meth:`TraceBuffer.append_event` scalar
+  records (the t1/t5/t8/t14 hook cost), with the t14 PVAR fusion tuple
+  on every origin-complete record.
+* ``pvar_update`` -- slot-interned PVAR counter/level/watermark updates
+  plus a bound reader (the per-RPC and per-progress-iteration cost).
+* ``monitor_tick`` -- one full :meth:`Monitor.sample` over a two-process
+  cluster (PVAR rows, tasking gauges, fabric, detectors).
+
+These run inside :func:`repro.bench.kernel.run_kernel_benchmarks`, so
+their results land in ``BENCH_kernel.json`` and the existing ``--check``
+gate covers them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["INSTR_BENCHMARKS"]
+
+
+def bench_trace_append(n_events: int) -> tuple[int, str]:
+    from ..symbiosys.tracing import TraceBuffer
+
+    buf = TraceBuffer("bench-proc")
+    rpc_names = ("sdskv_put", "bake_create_write_persist", "sdskv_get", "bake_read")
+    pvars = (3, 2, 1, 0, 0, 0, 0, 1.5e-6, 2.5e-7)
+    t = 0.0
+    for i in range(n_events):
+        kind = i & 3
+        t += 1e-6
+        buf.append_event(
+            kind,
+            f"cli0-{i >> 2}",
+            i & 3,
+            i,
+            t,
+            t,
+            rpc_names[kind],
+            (i & 0xFFFF) | 1,
+            i + 1,
+            i if i & 1 else None,
+            0,
+            2,
+            1,
+            1,
+            0.5,
+            1 << 20,
+            1e-6,
+            2e-6,
+            3e-6,
+            pvars if kind == 1 else None,
+        )
+    assert len(buf) == n_events
+    return n_events, "events"
+
+
+def bench_pvar_update(n_rounds: int) -> tuple[int, str]:
+    from ..mercury.pvar import PvarBinding, PvarClass, PvarDef, PvarRegistry
+
+    reg = PvarRegistry()
+    b = PvarBinding.NO_OBJECT
+    reg.define(PvarDef("bench_counter", PvarClass.COUNTER, b, "bench"))
+    reg.define(PvarDef("bench_level", PvarClass.LEVEL, b, "bench"))
+    reg.define(PvarDef("bench_hi", PvarClass.HIGHWATERMARK, b, "bench"))
+    reg.define(PvarDef("bench_lo", PvarClass.LOWWATERMARK, b, "bench"))
+    counter = reg.bind_update("bench_counter")
+    level = reg.bind_update("bench_level")
+    hi = reg.bind_update("bench_hi")
+    lo = reg.bind_update("bench_lo")
+    read_level = reg.reader("bench_level")
+    for i in range(n_rounds):
+        n = i & 7
+        reg.add_at(counter, 1)
+        reg.set_at(level, n)
+        reg.hiwater_at(hi, n)
+        reg.lowater_at(lo, n)
+        read_level()
+    assert reg.raw_value("bench_counter") == n_rounds
+    return 5 * n_rounds, "updates"
+
+
+def bench_monitor_tick(n_ticks: int) -> tuple[int, str]:
+    from ..cluster import Cluster
+    from ..symbiosys.monitor import Monitor, MonitorConfig
+
+    with Cluster(stage=None) as cluster:
+        processes = [
+            cluster.process(f"p{i}", f"node{i}", n_handler_es=1)
+            for i in range(2)
+        ]
+        monitor = Monitor(cluster.sim, MonitorConfig(), fabric=cluster.fabric)
+        for mi in processes:
+            monitor.attach(mi)
+        # Drive the sampler body directly (no simulation run): this
+        # isolates the per-tick snapshot cost itself.
+        interval = 1e-4
+        for k in range(1, n_ticks + 1):
+            monitor.sample(k * interval)
+    return n_ticks, "ticks"
+
+
+#: name -> (full-scale thunk, smoke-scale thunk)
+INSTR_BENCHMARKS: dict[str, tuple[Callable, Callable]] = {
+    "instr_trace_append": (
+        lambda: bench_trace_append(200_000),
+        lambda: bench_trace_append(20_000),
+    ),
+    "instr_pvar_update": (
+        lambda: bench_pvar_update(100_000),
+        lambda: bench_pvar_update(10_000),
+    ),
+    "instr_monitor_tick": (
+        lambda: bench_monitor_tick(2_000),
+        lambda: bench_monitor_tick(200),
+    ),
+}

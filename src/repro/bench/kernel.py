@@ -23,6 +23,7 @@ from typing import Callable
 
 from ..sim import AnyOf, Simulator, Timeout
 from .harness import BenchResult, SuiteResult, time_bench
+from .instr import INSTR_BENCHMARKS
 
 __all__ = ["KERNEL_BENCHMARKS", "run_kernel_benchmarks"]
 
@@ -145,6 +146,9 @@ KERNEL_BENCHMARKS: dict[str, tuple[Callable, Callable]] = {
         lambda: bench_rpc_round_trip(2_000),
         lambda: bench_rpc_round_trip(200),
     ),
+    # The instrumentation hot paths ride along in this suite so their
+    # results land in BENCH_kernel.json and the same --check gate.
+    **INSTR_BENCHMARKS,
 }
 
 

@@ -209,6 +209,19 @@ class HGCore:
         self._progress_observers: list = []
         self.pvars = PvarRegistry()
         self._define_pvars()
+        # Interned slots for every PVAR the data path updates per RPC /
+        # per progress iteration: name resolution and protocol checks
+        # happen once, here, not per update.
+        pv = self.pvars
+        self._pv_rpcs_invoked = pv.bind_update("num_rpcs_invoked")
+        self._pv_eager_overflow = pv.bind_update("eager_overflow_count")
+        self._pv_ofi_read = pv.bind_update("num_ofi_events_read")
+        self._pv_ofi_read_max = pv.bind_update("max_ofi_events_read")
+        self._pv_ofi_read_min = pv.bind_update("min_ofi_events_read")
+        self._pv_late_drops = pv.bind_update("num_late_responses_dropped")
+        self._pv_fwd_timeouts = pv.bind_update("num_forward_timeouts")
+        self._pv_fwd_retries = pv.bind_update("num_forward_retries")
+        self._pv_failed_over = pv.bind_update("num_failed_over_forwards")
 
     @property
     def progress_observer(self):
@@ -427,7 +440,7 @@ class HGCore:
             yield Compute(ser_t)  # t2 -> t3
         if self.pvars_enabled:
             handle.pvar_set("input_serialization_time", ser_t)
-            self.pvars.add("num_rpcs_invoked", 1)
+            self.pvars.add_at(self._pv_rpcs_invoked, 1)
         if self.config.post_cost > 0:
             yield Compute(self.config.post_cost)
 
@@ -437,7 +450,7 @@ class HGCore:
         needs_rdma = input_size > self.config.eager_size
         rdma_size = input_size - eager_part
         if needs_rdma and self.pvars_enabled:
-            self.pvars.add("eager_overflow_count", 1)
+            self.pvars.add_at(self._pv_eager_overflow, 1)
 
         wire = RequestWire(
             cookie=handle.cookie,
@@ -567,9 +580,10 @@ class HGCore:
         entries = ep.cq_read(self.ofi_max_events)
         n = len(entries)
         if n and self.pvars_enabled:
-            self.pvars.set("num_ofi_events_read", n)
-            self.pvars.watermark("max_ofi_events_read", n)
-            self.pvars.watermark("min_ofi_events_read", n)
+            pv = self.pvars
+            pv.set_at(self._pv_ofi_read, n)
+            pv.hiwater_at(self._pv_ofi_read_max, n)
+            pv.lowater_at(self._pv_ofi_read_min, n)
         for entry in entries:
             self._dispatch(entry)
         self._note_progress(n)
@@ -674,7 +688,7 @@ class HGCore:
     def _on_response(self, wire: ResponseWire) -> None:
         if wire.cookie in self._cancelled:
             self._cancelled.discard(wire.cookie)
-            self.pvars.add("num_late_responses_dropped", 1)
+            self.pvars.add_at(self._pv_late_drops, 1)
             return
         try:
             handle, cb = self._posted.pop(wire.cookie)
@@ -683,7 +697,7 @@ class HGCore:
             # cancellation, or a wire-level duplicate of one already
             # consumed.  Real Mercury ignores stale completions; we count
             # them as a resilience gauge.
-            self.pvars.add("num_late_responses_dropped", 1)
+            self.pvars.add_at(self._pv_late_drops, 1)
             return
         handle.output = wire.payload
         handle.output_size = wire.output_size

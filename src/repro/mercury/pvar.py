@@ -68,12 +68,22 @@ class PvarDef:
 
 class PvarRegistry:
     """Holds the PVAR definitions and NO_OBJECT values for one Mercury
-    instance."""
+    instance.
+
+    Values live in a flat list parallel to the definitions, so each
+    (pvar, binding) key resolves to an integer *slot* exactly once --
+    at :meth:`bind_update` / :meth:`reader` time -- and the per-RPC hot
+    paths update or read ``_slots[slot]`` without hashing the name.
+    The name-based methods keep full protocol validation and remain the
+    API for cold paths, tests, and external tools.
+    """
 
     def __init__(self) -> None:
         self._defs: list[PvarDef] = []
         self._index: dict[str, int] = {}
-        self._values: dict[str, Any] = {}
+        #: Current value per definition slot (None placeholder for
+        #: HANDLE-bound and getter-backed definitions).
+        self._slots: list[Any] = []
 
     # -- definition (library side) -------------------------------------------
 
@@ -82,11 +92,12 @@ class PvarRegistry:
             raise PvarError(f"duplicate PVAR {pvar_def.name!r}")
         self._index[pvar_def.name] = len(self._defs)
         self._defs.append(pvar_def)
+        value: Any = None
         if pvar_def.binding is PvarBinding.NO_OBJECT and pvar_def.getter is None:
-            init = 0.0 if pvar_def.pvar_class is PvarClass.TIMER else 0
+            value = 0.0 if pvar_def.pvar_class is PvarClass.TIMER else 0
             if pvar_def.pvar_class is PvarClass.LOWWATERMARK:
-                init = None  # no sample yet
-            self._values[pvar_def.name] = init
+                value = None  # no sample yet
+        self._slots.append(value)
 
     @property
     def num_pvars(self) -> int:
@@ -103,38 +114,92 @@ class PvarRegistry:
         except KeyError:
             raise PvarError(f"unknown PVAR {name!r}") from None
 
+    # -- interned slots (bind once, update by index) ---------------------------
+
+    def bind_update(self, name: str) -> int:
+        """Resolve *name* to its integer slot for unchecked updates.
+
+        All protocol validation (NO_OBJECT binding, not getter-backed)
+        happens here, once; afterwards :meth:`add_at` / :meth:`set_at`
+        / the watermark variants touch ``_slots[slot]`` directly.
+        """
+        return self._slot_for_update(name)
+
+    def add_at(self, slot: int, delta: Any = 1) -> None:
+        """Unchecked increment of a bound slot (hot path)."""
+        self._slots[slot] += delta
+
+    def set_at(self, slot: int, value: Any) -> None:
+        """Unchecked write of a bound slot (hot path)."""
+        self._slots[slot] = value
+
+    def hiwater_at(self, slot: int, value: Any) -> None:
+        """Unchecked HIGHWATERMARK sample into a bound slot."""
+        slots = self._slots
+        cur = slots[slot]
+        if cur is None or value > cur:
+            slots[slot] = value
+
+    def lowater_at(self, slot: int, value: Any) -> None:
+        """Unchecked LOWWATERMARK sample into a bound slot."""
+        slots = self._slots
+        cur = slots[slot]
+        if cur is None or value < cur:
+            slots[slot] = value
+
+    def value_at(self, slot: int) -> Any:
+        """Current value of any NO_OBJECT slot (calls getters)."""
+        getter = self._defs[slot].getter
+        if getter is not None:
+            return getter()
+        return self._slots[slot]
+
+    def reader(self, name: str) -> Callable[[], Any]:
+        """Bind-once zero-arg reader for a NO_OBJECT PVAR.
+
+        Getter-backed definitions hand back the getter itself; stored
+        definitions hand back a closure over (slots, slot), so a read
+        costs one list index instead of two dict lookups.
+        """
+        slot = self.index_of(name)
+        d = self._defs[slot]
+        if d.binding is not PvarBinding.NO_OBJECT:
+            raise PvarError(f"{name!r} is HANDLE-bound")
+        if d.getter is not None:
+            return d.getter
+        slots = self._slots
+        return lambda: slots[slot]
+
     # -- updates (library side) ------------------------------------------------
 
-    def _def_for_update(self, name: str) -> PvarDef:
-        d = self._defs[self.index_of(name)]
+    def _slot_for_update(self, name: str) -> int:
+        slot = self.index_of(name)
+        d = self._defs[slot]
         if d.binding is not PvarBinding.NO_OBJECT:
             raise PvarError(f"{name!r} is HANDLE-bound; update it on the handle")
         if d.getter is not None:
             raise PvarError(f"{name!r} is computed; it cannot be set")
-        return d
+        return slot
 
     def set(self, name: str, value: Any) -> None:
         """Direct write (STATE / LEVEL semantics)."""
-        self._def_for_update(name)
-        self._values[name] = value
+        self._slots[self._slot_for_update(name)] = value
 
     def add(self, name: str, delta: Any = 1) -> None:
         """Increment (COUNTER semantics; LEVEL may also go up/down)."""
-        d = self._def_for_update(name)
-        if d.pvar_class is PvarClass.COUNTER and delta < 0:
+        slot = self._slot_for_update(name)
+        if self._defs[slot].pvar_class is PvarClass.COUNTER and delta < 0:
             raise PvarError(f"COUNTER {name!r} cannot decrease")
-        self._values[name] += delta
+        self._slots[slot] += delta
 
     def watermark(self, name: str, value: Any) -> None:
         """Record a sample into a HIGH/LOWWATERMARK PVAR."""
-        d = self._def_for_update(name)
-        cur = self._values[name]
-        if d.pvar_class is PvarClass.HIGHWATERMARK:
-            if cur is None or value > cur:
-                self._values[name] = value
-        elif d.pvar_class is PvarClass.LOWWATERMARK:
-            if cur is None or value < cur:
-                self._values[name] = value
+        slot = self._slot_for_update(name)
+        cls = self._defs[slot].pvar_class
+        if cls is PvarClass.HIGHWATERMARK:
+            self.hiwater_at(slot, value)
+        elif cls is PvarClass.LOWWATERMARK:
+            self.lowater_at(slot, value)
         else:
             raise PvarError(f"{name!r} is not a watermark PVAR")
 
@@ -144,7 +209,7 @@ class PvarRegistry:
             raise PvarError(f"{name!r} is HANDLE-bound")
         if d.getter is not None:
             return d.getter()
-        return self._values[name]
+        return self._slots[self._index[name]]
 
 
 @dataclass
@@ -226,6 +291,13 @@ class PvarSession:
                 )
             return hg_handle.pvar_get(d.name)
         return self._registry.raw_value(d.name)
+
+    def reader(self, name: str) -> Callable[[], Any]:
+        """Bind a zero-arg reader for a NO_OBJECT PVAR once, so a
+        per-RPC sample is one call instead of name resolution +
+        validation each time (SYMBIOSYS's t14 fusion path)."""
+        self._check_live()
+        return self._registry.reader(name)
 
     # -- step 5: finalize ------------------------------------------------------
 

@@ -24,7 +24,13 @@ from ..margo.hooks import Instrumentation
 from .callpath import CallpathRegistry, push
 from .profiling import ProfileKey, ProfileStore
 from .stages import Stage
-from .tracing import EventKind, SpanIdAllocator, TraceBuffer, TraceEvent
+from .tracing import (
+    _KIND_CODE,
+    TRACE_PVAR_INT_KEYS,
+    EventKind,
+    SpanIdAllocator,
+    TraceBuffer,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..argobots import ULT
@@ -33,18 +39,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["SymbiosysInstrumentation"]
 
+# Columnar kind codes for the TraceBuffer.append_event hot path.
+_K_ORIGIN_FORWARD = _KIND_CODE[EventKind.ORIGIN_FORWARD]
+_K_ORIGIN_COMPLETE = _KIND_CODE[EventKind.ORIGIN_COMPLETE]
+_K_TARGET_ULT_START = _KIND_CODE[EventKind.TARGET_ULT_START]
+_K_TARGET_RESPOND = _KIND_CODE[EventKind.TARGET_RESPOND]
+
 #: NO_OBJECT PVARs sampled into origin-side trace events at t14.  The
 #: resilience gauges ride along so faulted runs expose degraded-mode
-#: state in every origin trace record.
-_T14_PVARS = (
-    "num_ofi_events_read",
-    "completion_queue_size",
-    "num_posted_handles",
-    "num_forward_timeouts",
-    "num_forward_retries",
-    "num_failed_over_forwards",
-    "num_late_responses_dropped",
-)
+#: state in every origin trace record.  The order is the trace record
+#: schema, owned by the tracing module.
+_T14_PVARS = TRACE_PVAR_INT_KEYS
 #: HANDLE PVARs sampled on the target at handler end (t13).
 _TARGET_HANDLE_PVARS = (
     "input_deserialization_time",
@@ -76,6 +81,9 @@ class SymbiosysInstrumentation(Instrumentation):
         self.target_profile = ProfileStore()
         self.trace: Optional[TraceBuffer] = None
         self._pvar_session: Optional["PvarSession"] = None
+        #: Bound zero-arg readers for _T14_PVARS, resolved once at
+        #: attach time (FULL stage only).
+        self._t14_readers: tuple = ()
 
     # -- wiring ---------------------------------------------------------------
 
@@ -87,8 +95,13 @@ class SymbiosysInstrumentation(Instrumentation):
         mi.hg.pvars_enabled = self.stage >= Stage.FULL
         if self.stage >= Stage.FULL:
             # The faithful data-exchange path: a PVAR session opened from
-            # Margo's init routine (paper §IV-C).
+            # Margo's init routine (paper §IV-C).  Each sampled PVAR is
+            # resolved to its slot once, here, so the per-RPC t14 fusion
+            # is a flat tuple of bound reads.
             self._pvar_session = mi.hg.pvar_session_init()
+            self._t14_readers = tuple(
+                self._pvar_session.reader(name) for name in _T14_PVARS
+            )
 
     def resilience_counters(self) -> dict[str, int]:
         """Degraded-mode gauges of the attached process (always live --
@@ -125,34 +138,13 @@ class SymbiosysInstrumentation(Instrumentation):
         ctx["next_order"] = order + 1
         return order
 
-    def _sysstats(self, mi: "MargoInstance") -> dict[str, Any]:
-        rt = mi.rt
-        return {
-            "num_blocked": rt.num_blocked,
-            "num_ready": rt.num_ready,
-            "num_running": rt.num_running,
-            "cpu_util": mi.stats.cpu_utilization(),
-            "memory_bytes": mi.stats.memory_bytes,
-        }
-
-    def _sample_t14_pvars(self, handle: "HGHandle") -> dict[str, Any]:
-        out: dict[str, Any] = {}
-        sess = self._pvar_session
-        if sess is None:
-            return out
-        for name in _T14_PVARS:
-            out[name] = sess.read_by_name(name)
-        out["input_serialization_time"] = handle.pvar_get_or(
-            "input_serialization_time"
+    def _sample_t14_pvars(self, handle: "HGHandle") -> tuple:
+        """The 9-tuple of t14 samples in trace-record order
+        (TRACE_PVAR_INT_KEYS then the two handle timer PVARs)."""
+        return tuple(r() for r in self._t14_readers) + (
+            handle.pvar_get_or("input_serialization_time"),
+            handle.pvar_get_or("origin_completion_callback_time"),
         )
-        out["origin_completion_callback_time"] = handle.pvar_get_or(
-            "origin_completion_callback_time"
-        )
-        return out
-
-    def _emit(self, event: TraceEvent) -> None:
-        assert self.trace is not None, "instrumentation not attached"
-        self.trace.append(event)
 
     # -- origin hooks ----------------------------------------------------------------
 
@@ -181,22 +173,24 @@ class SymbiosysInstrumentation(Instrumentation):
             ult.local[("t1", handle.cookie)] = mi.sim.now
 
         if self.stage >= Stage.STAGE2:
-            self._emit(
-                TraceEvent(
-                    kind=EventKind.ORIGIN_FORWARD,
-                    request_id=ctx["request_id"],
-                    order=order,
-                    lamport=lamport,
-                    process=mi.addr,
-                    local_ts=mi.local_time(),
-                    true_ts=mi.sim.now,
-                    rpc_name=handle.rpc_name,
-                    callpath=code,
-                    span_id=span_id,
-                    parent_span_id=parent_span,
-                    provider_id=header.get("provider_id", 0),
-                    sysstats=self._sysstats(mi),
-                )
+            rt = mi.rt
+            self.trace.append_event(
+                _K_ORIGIN_FORWARD,
+                ctx["request_id"],
+                order,
+                lamport,
+                mi.local_time(),
+                mi.sim.now,
+                handle.rpc_name,
+                code,
+                span_id,
+                parent_span,
+                header.get("provider_id", 0),
+                rt.num_blocked,
+                rt.num_ready,
+                rt.num_running,
+                mi.stats.cpu_utilization(),
+                mi.stats.memory_bytes,
             )
 
     def on_forward_complete(self, mi, handle, ult, t1: float, t14: float) -> None:
@@ -220,41 +214,40 @@ class SymbiosysInstrumentation(Instrumentation):
         ctx["next_order"] = max(ctx["next_order"], header.get("order", 0))
         order = self._take_order(ctx)
 
-        pvars: dict[str, Any] = {}
+        pvars: Optional[tuple] = None
         if self.stage >= Stage.FULL:
             pvars = self._sample_t14_pvars(handle)
             self.origin_profile.add(
-                key,
-                "input_serialization_time",
-                pvars["input_serialization_time"],
+                key, "input_serialization_time", pvars[-2]
             )
             self.origin_profile.add(
-                key,
-                "origin_completion_callback_time",
-                pvars["origin_completion_callback_time"],
+                key, "origin_completion_callback_time", pvars[-1]
             )
 
-        self._emit(
-            TraceEvent(
-                kind=EventKind.ORIGIN_COMPLETE,
-                request_id=ctx["request_id"],
-                order=order,
-                lamport=lamport,
-                process=mi.addr,
-                # The event belongs to t14 (the completion callback); the
-                # hook itself runs when the caller ULT resumes, so map the
-                # callback instant through the local clock explicitly.
-                local_ts=mi.clock.read(t14),
-                true_ts=t14,
-                rpc_name=handle.rpc_name,
-                callpath=code,
-                span_id=header.get("span_id", 0),
-                parent_span_id=header.get("parent_span_id"),
-                provider_id=header.get("provider_id", 0),
-                data={"t1": t1_local, "origin_execution_time": origin_exec},
-                pvars=pvars,
-                sysstats=self._sysstats(mi),
-            )
+        rt = mi.rt
+        self.trace.append_event(
+            _K_ORIGIN_COMPLETE,
+            ctx["request_id"],
+            order,
+            lamport,
+            # The event belongs to t14 (the completion callback); the
+            # hook itself runs when the caller ULT resumes, so map the
+            # callback instant through the local clock explicitly.
+            mi.clock.read(t14),
+            t14,
+            handle.rpc_name,
+            code,
+            header.get("span_id", 0),
+            header.get("parent_span_id"),
+            header.get("provider_id", 0),
+            rt.num_blocked,
+            rt.num_ready,
+            rt.num_running,
+            mi.stats.cpu_utilization(),
+            mi.stats.memory_bytes,
+            t1_local,
+            origin_exec,
+            pvars=pvars,
         )
 
     # -- target hooks ---------------------------------------------------------------
@@ -283,23 +276,26 @@ class SymbiosysInstrumentation(Instrumentation):
         ult.local["target_handler_time"] = t5 - t4
         ctx = ult.local["trace_ctx"]
         order = self._take_order(ctx)
-        self._emit(
-            TraceEvent(
-                kind=EventKind.TARGET_ULT_START,
-                request_id=ctx["request_id"],
-                order=order,
-                lamport=lamport,
-                process=mi.addr,
-                local_ts=mi.local_time(),
-                true_ts=mi.sim.now,
-                rpc_name=handle.rpc_name,
-                callpath=header.get("callpath", 0),
-                span_id=header.get("span_id", 0),
-                parent_span_id=header.get("parent_span_id"),
-                provider_id=header.get("provider_id", 0),
-                data={"t4": t4, "target_handler_time": t5 - t4},
-                sysstats=self._sysstats(mi),
-            )
+        rt = mi.rt
+        self.trace.append_event(
+            _K_TARGET_ULT_START,
+            ctx["request_id"],
+            order,
+            lamport,
+            mi.local_time(),
+            mi.sim.now,
+            handle.rpc_name,
+            header.get("callpath", 0),
+            header.get("span_id", 0),
+            header.get("parent_span_id"),
+            header.get("provider_id", 0),
+            rt.num_blocked,
+            rt.num_ready,
+            rt.num_running,
+            mi.stats.cpu_utilization(),
+            mi.stats.memory_bytes,
+            t4,
+            t5 - t4,
         )
 
     def on_respond(self, mi, handle, ult) -> None:
@@ -318,27 +314,27 @@ class SymbiosysInstrumentation(Instrumentation):
             ult.local["target_execution_time_exclusive"] = exec_excl
             order = self._take_order(ctx)
             header["order"] = ctx["next_order"]
-            self._emit(
-                TraceEvent(
-                    kind=EventKind.TARGET_RESPOND,
-                    request_id=ctx["request_id"],
-                    order=order,
-                    lamport=lamport,
-                    process=mi.addr,
-                    local_ts=mi.local_time(),
-                    true_ts=mi.sim.now,
-                    rpc_name=handle.rpc_name,
-                    callpath=header.get("callpath", 0),
-                    span_id=header.get("span_id", 0),
-                    parent_span_id=header.get("parent_span_id"),
-                    provider_id=header.get("provider_id", 0),
-                    data={
-                        "t8": t8,
-                        "target_execution_time": exec_incl,
-                        "target_execution_time_exclusive": exec_excl,
-                    },
-                    sysstats=self._sysstats(mi),
-                )
+            rt = mi.rt
+            self.trace.append_event(
+                _K_TARGET_RESPOND,
+                ctx["request_id"],
+                order,
+                lamport,
+                mi.local_time(),
+                mi.sim.now,
+                handle.rpc_name,
+                header.get("callpath", 0),
+                header.get("span_id", 0),
+                header.get("parent_span_id"),
+                header.get("provider_id", 0),
+                rt.num_blocked,
+                rt.num_ready,
+                rt.num_running,
+                mi.stats.cpu_utilization(),
+                mi.stats.memory_bytes,
+                t8,
+                exec_incl,
+                exec_excl,
             )
         else:
             header["order"] = ctx["next_order"]

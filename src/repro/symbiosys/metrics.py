@@ -21,6 +21,7 @@ Design constraints (all load-bearing for the determinism tests):
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from typing import Any, Iterable, Iterator, Optional
 
@@ -227,9 +228,14 @@ class TimeSeries:
     Appending past capacity evicts the oldest sample and increments
     :attr:`dropped`; the window always holds the *latest* ``capacity``
     samples, which is what live monitoring wants.
+
+    Storage is a pair of parallel ``array('d')`` ring buffers, so an
+    append is two C-level scalar writes -- no tuple allocation on the
+    sampling hot path.  Values are coerced to float; every consumer
+    (CSV export, threshold checks) treats them numerically.
     """
 
-    __slots__ = ("name", "labels", "capacity", "dropped", "_buf", "_head")
+    __slots__ = ("name", "labels", "capacity", "dropped", "_t", "_v", "_head")
 
     def __init__(self, name: str, labels: LabelItems = (), capacity: int = 4096):
         if capacity < 1:
@@ -238,28 +244,40 @@ class TimeSeries:
         self.labels = labels
         self.capacity = capacity
         self.dropped = 0
-        self._buf: list[tuple[float, float]] = []
+        self._t = array("d")
+        self._v = array("d")
         self._head = 0  # index of the oldest sample once wrapped
 
     def append(self, t: float, value: float) -> None:
-        if len(self._buf) < self.capacity:
-            self._buf.append((t, value))
+        tcol = self._t
+        if len(tcol) < self.capacity:
+            tcol.append(t)
+            self._v.append(value)
         else:
-            self._buf[self._head] = (t, value)
-            self._head = (self._head + 1) % self.capacity
+            head = self._head
+            tcol[head] = t
+            self._v[head] = value
+            self._head = (head + 1) % self.capacity
             self.dropped += 1
 
     def samples(self) -> list[tuple[float, float]]:
         """Chronological ``(time, value)`` list of the retained window."""
-        return self._buf[self._head :] + self._buf[: self._head]
+        head = self._head
+        times = self._t
+        values = self._v
+        if head:
+            order = list(range(head, len(times))) + list(range(head))
+            return [(times[i], values[i]) for i in order]
+        return list(zip(times, values))
 
     def latest(self) -> Optional[tuple[float, float]]:
-        if not self._buf:
+        if not self._t:
             return None
-        return self._buf[self._head - 1]
+        head = self._head - 1
+        return (self._t[head], self._v[head])
 
     def __len__(self) -> int:
-        return len(self._buf)
+        return len(self._t)
 
 
 class SeriesStore:

@@ -29,6 +29,7 @@ simulated makespan of a monitored run equals the unmonitored one.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -299,6 +300,11 @@ class SchedSlice:
     reason: str = ""
 
 
+#: Slice-reason materialization table, indexed by the recorder's
+#: internal reason code (0 is the empty reason of block slices).
+_SLICE_REASONS = ("", "end", "block", "yield", "preempt")
+
+
 class SchedRecorder:
     """The ``sched_observer`` installed on each process's AbtRuntime.
 
@@ -306,62 +312,109 @@ class SchedRecorder:
     synthesizes the block slice between a ULT blocking and its next
     dispatch.  Bounded: past ``capacity`` slices it counts drops instead
     of growing.
+
+    The hook fires on *every* ULT dispatch, so recording is columnar:
+    one slice is four scalar appends into flat arrays with process/ES/
+    ULT names interned to integer ids.  :attr:`slices` materializes
+    (and caches) the :class:`SchedSlice` views for the exporters.
     """
 
     def __init__(self, capacity: int = 65536):
         self.capacity = capacity
-        self.slices: list[SchedSlice] = []
         self.dropped = 0
         #: ULT object -> time its last run slice ended with a block.
         self._blocked_at: dict = {}
+        self._n = 0
+        self._ids = array("q")  # interleaved (process, es, ult) string ids
+        self._kind = array("b")  # 0 = run, 1 = block
+        self._reason = array("b")  # index into _SLICE_REASONS
+        self._start = array("d")
+        self._end = array("d")
+        self._strings: list[str] = []
+        self._str_ids: dict[str, int] = {}
+        self._mat: list[SchedSlice] = []
+        #: UltState -> reason code, resolved lazily (import cycle).
+        self._reason_codes: Optional[dict] = None
 
-    def _push(self, s: SchedSlice) -> None:
-        if len(self.slices) < self.capacity:
-            self.slices.append(s)
-        else:
-            self.dropped += 1
+    def _intern(self, s: str) -> int:
+        i = self._str_ids.get(s)
+        if i is None:
+            i = self._str_ids[s] = len(self._strings)
+            self._strings.append(s)
+        return i
 
     def on_slice(
         self, es: "ExecutionStream", ult: "ULT", start: float, end: float
     ) -> None:
         """Called by the ES when a ULT leaves it (xstream hook)."""
-        from ..argobots.ult import UltState
+        reason_codes = self._reason_codes
+        if reason_codes is None:
+            from ..argobots.ult import UltState
 
+            reason_codes = self._reason_codes = {
+                UltState.TERMINATED: 1,
+                UltState.BLOCKED: 2,
+                UltState.READY: 3,
+            }
+        n = self._n
+        capacity = self.capacity
         blocked_since = self._blocked_at.pop(ult, None)
+        proc = self._intern(es.runtime.name)
+        es_id = self._intern(es.name)
+        ult_id = self._intern(ult.name)
         if blocked_since is not None:
-            self._push(
-                SchedSlice(
-                    process=es.runtime.name,
-                    es=es.name,
-                    ult=ult.name,
-                    kind="block",
-                    start=blocked_since,
-                    end=start,
-                )
-            )
-        if ult.state is UltState.TERMINATED:
-            reason = "end"
-        elif ult.state is UltState.BLOCKED:
-            reason = "block"
+            if n < capacity:
+                self._ids.extend((proc, es_id, ult_id))
+                self._kind.append(1)
+                self._reason.append(0)
+                self._start.append(blocked_since)
+                self._end.append(start)
+                n += 1
+            else:
+                self.dropped += 1
+        reason = reason_codes.get(ult.state, 4)
+        if reason == 2:
             self._blocked_at[ult] = end
-        elif ult.state is UltState.READY:
-            reason = "yield"
+        if n < capacity:
+            self._ids.extend((proc, es_id, ult_id))
+            self._kind.append(0)
+            self._reason.append(reason)
+            self._start.append(start)
+            self._end.append(end)
+            n += 1
         else:
-            reason = "preempt"
-        self._push(
-            SchedSlice(
-                process=es.runtime.name,
-                es=es.name,
-                ult=ult.name,
-                kind="run",
-                start=start,
-                end=end,
-                reason=reason,
-            )
-        )
+            self.dropped += 1
+        self._n = n
+
+    @property
+    def slices(self) -> list[SchedSlice]:
+        """Materialized slice views, in recording order (cached)."""
+        mat = self._mat
+        n = self._n
+        if len(mat) != n:
+            strings = self._strings
+            ids = self._ids
+            kind = self._kind
+            reason = self._reason
+            start = self._start
+            end = self._end
+            for i in range(len(mat), n):
+                base = i * 3
+                mat.append(
+                    SchedSlice(
+                        process=strings[ids[base]],
+                        es=strings[ids[base + 1]],
+                        ult=strings[ids[base + 2]],
+                        kind="block" if kind[i] else "run",
+                        start=start[i],
+                        end=end[i],
+                        reason=_SLICE_REASONS[reason[i]],
+                    )
+                )
+        return mat
 
     def __len__(self) -> int:
-        return len(self.slices)
+        return self._n
 
 
 class PeriodicSampler:
@@ -396,18 +449,25 @@ class PeriodicSampler:
 class _PvarRow:
     """One NO_OBJECT PVAR in a process's cached sampling plan.
 
-    ``metric``/``series`` stay None until the PVAR first reports a
-    non-None value (LOWWATERMARKs are None until sampled) -- exactly the
-    lazy creation the uncached path had, so exports are byte-identical.
+    ``read`` is the slot reader bound at plan-build time (one list
+    index or getter call per sample -- no name hashing).  ``update`` /
+    ``append`` stay None until the PVAR first reports a non-None value
+    (LOWWATERMARKs are None until sampled) -- exactly the lazy metric
+    creation the uncached path had, so exports are byte-identical;
+    afterwards they are the bound ``set``/``set_total`` and
+    ``TimeSeries.append`` methods.
     """
 
-    __slots__ = ("d", "is_counter", "metric", "series")
+    __slots__ = ("d", "is_counter", "read", "metric", "series", "update", "append")
 
-    def __init__(self, d, is_counter: bool):
+    def __init__(self, d, is_counter: bool, read):
         self.d = d
         self.is_counter = is_counter
+        self.read = read
         self.metric = None
         self.series = None
+        self.update = None
+        self.append = None
 
 
 class _GaugeRow:
@@ -490,25 +550,34 @@ class Monitor:
         self._processes[mi.addr] = mi
         mi.rt.add_sched_observer(self.sched)
         self.last_progress[mi.addr] = self.sim.now
-        mi.hg.add_progress_observer(
-            lambda t, n, addr=mi.addr: self._on_progress(addr, t, n)
-        )
+        # The observer fires on every progress iteration, so it is a
+        # closure over pre-resolved state: one dict store plus a bound
+        # counter.inc per iteration.  The counter is still created on
+        # the first iteration (not at attach), as before, so exports of
+        # runs with idle processes are unchanged.
+        addr = mi.addr
+        last_progress = self.last_progress
+        registry = self.registry
+        counters = self._progress_counters
+        inc_cell: list = []
+
+        def _observer(t: float, n: int) -> None:
+            last_progress[addr] = t
+            if not inc_cell:
+                counter = registry.counter(
+                    "hg_progress_iterations",
+                    "Progress-loop iterations completed",
+                    labels={"process": addr},
+                )
+                counters[addr] = counter
+                inc_cell.append(counter.inc)
+            inc_cell[0]()
+
+        mi.hg.add_progress_observer(_observer)
 
     def iter_processes(self):
         """Attached processes in attach order (deterministic)."""
         return self._processes.items()
-
-    def _on_progress(self, addr: str, t: float, n: int) -> None:
-        self.last_progress[addr] = t
-        counter = self._progress_counters.get(addr)
-        if counter is None:
-            # Created on first iteration (not at attach), as before.
-            counter = self._progress_counters[addr] = self.registry.counter(
-                "hg_progress_iterations",
-                "Progress-loop iterations completed",
-                labels={"process": addr},
-            )
-        counter.inc()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -579,7 +648,7 @@ class Monitor:
         plan.pvars = pvars
         plan.n_pvars = pvars.num_pvars
         plan.pvar_rows = [
-            _PvarRow(d, d.pvar_class is PvarClass.COUNTER)
+            _PvarRow(d, d.pvar_class is PvarClass.COUNTER, pvars.reader(d.name))
             for d in (pvars.info(i) for i in range(pvars.num_pvars))
             # HANDLE-bound values have no global snapshot.
             if d.binding is PvarBinding.NO_OBJECT
@@ -620,28 +689,27 @@ class Monitor:
         return plan
 
     def _sample_pvars(self, t: float, plan: _ProcessPlan) -> None:
-        values = plan.pvars._values
         for row in plan.pvar_rows:
-            d = row.d
-            getter = d.getter
-            value = getter() if getter is not None else values[d.name]
+            value = row.read()
             if value is None:
                 continue  # LOWWATERMARK with no sample yet
-            metric = row.metric
-            if metric is None:
+            update = row.update
+            if update is None:
+                d = row.d
                 name = f"pvar_{d.name}"
                 labels = {"process": plan.addr}
                 if row.is_counter:
                     metric = self.registry.counter(name, d.description, labels)
+                    update = metric.set_total
                 else:
                     metric = self.registry.gauge(name, d.description, labels)
+                    update = metric.set
                 row.metric = metric
                 row.series = self.store.series(name, labels)
-            if row.is_counter:
-                metric.set_total(value)
-            else:
-                metric.set(value)
-            row.series.append(t, value)
+                row.update = update
+                row.append = row.series.append
+            update(value)
+            row.append(t, value)
 
     def _sample_tasking(
         self, t: float, mi: "MargoInstance", plan: _ProcessPlan

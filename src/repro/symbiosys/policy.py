@@ -223,6 +223,10 @@ class PolicyEngine:
         # The engine is a PVAR-interface client, like any external tool.
         mi.hg.pvars_enabled = True
         self._session = mi.hg.pvar_session_init()
+        # Bind the sampled PVARs to slot readers once; the periodic
+        # sampling loop then reads without per-tick name resolution.
+        self._read_ofi_events = self._session.reader("num_ofi_events_read")
+        self._read_cq_size = self._session.reader("completion_queue_size")
         if dedicated_es:
             pool = mi.rt.create_pool(f"{mi.addr}.monitor")
             mi.rt.create_xstream(pool, f"{mi.addr}.es-monitor")
@@ -242,12 +246,10 @@ class PolicyEngine:
         )
         return MetricSample(
             time=mi.sim.now,
-            ofi_events_read=self._session.read_by_name("num_ofi_events_read"),
+            ofi_events_read=self._read_ofi_events(),
             ofi_max_events=mi.hg.ofi_max_events,
             cq_depth=mi.endpoint.cq_depth,
-            completion_queue_size=self._session.read_by_name(
-                "completion_queue_size"
-            ),
+            completion_queue_size=self._read_cq_size(),
             num_blocked=mi.rt.num_blocked,
             num_ready=mi.rt.num_ready,
             handler_backlog=handler_backlog,

@@ -5,8 +5,10 @@ import json
 from repro.bench.harness import (
     BenchResult,
     SuiteResult,
+    check_ratios,
     check_regressions,
     compare_suites,
+    history_entry,
     time_bench,
     write_suite,
 )
@@ -83,3 +85,53 @@ def test_write_suite_embeds_baseline_and_speedups(tmp_path):
     on_disk = json.loads(path.read_text())
     assert on_disk["baseline"]["results"]["bench"]["median_s"] == 0.2
     assert on_disk["results"]["bench"]["median_s"] == 0.1
+    assert "history" not in on_disk  # only written when the caller passes one
+
+
+def _tiny_suite() -> SuiteResult:
+    return SuiteResult(
+        suite="kernel",
+        results=[
+            BenchResult(name="bench", runs_s=[0.1], units=100, unit_name="ops")
+        ],
+        meta={"calibration_s": 0.05},
+    )
+
+
+def test_history_accumulates_instead_of_overwriting(tmp_path):
+    path = tmp_path / "BENCH_kernel.json"
+    entry1 = history_entry(_tiny_suite(), "2026-08-01")
+    write_suite(_tiny_suite(), str(path), history=[entry1])
+    prior = json.loads(path.read_text())["history"]
+    entry2 = history_entry(_tiny_suite(), "2026-08-06")
+    payload = write_suite(_tiny_suite(), str(path), history=prior + [entry2])
+    assert [e["date"] for e in payload["history"]] == [
+        "2026-08-01",
+        "2026-08-06",
+    ]
+    assert payload["history"][0] == {
+        "date": "2026-08-01",
+        "calibration_s": 0.05,
+        "results": {"bench": 0.1},
+    }
+
+
+def test_check_ratios_gates_same_run_overhead():
+    current = {
+        "results": {
+            "hepnos": {"median_s": 1.0},
+            "hepnos_monitor": {"median_s": 1.1},
+        }
+    }
+    assert check_ratios(current, [("hepnos_monitor", "hepnos", 1.2)]) == []
+    failures = check_ratios(current, [("hepnos_monitor", "hepnos", 1.05)])
+    assert len(failures) == 1
+    assert "1.100" in failures[0] and "1.050" in failures[0]
+
+
+def test_check_ratios_reports_missing_benchmarks():
+    (failure,) = check_ratios(
+        {"results": {"hepnos": {"median_s": 1.0}}},
+        [("hepnos_monitor", "hepnos", 1.2)],
+    )
+    assert "missing hepnos_monitor" in failure

@@ -37,6 +37,14 @@ def test_checked_in_sdskv_entry_reproduces():
     assert check_golden(services=["sdskv"]) == []
 
 
+def test_all_golden_services_reproduce():
+    """Every service's digests must match the checked-in corpus.  The
+    corpus predates the columnar trace-buffer storage, so a clean pass
+    here proves the Perfetto / Prometheus / CSV / profile outputs are
+    byte-identical across the storage rewrite."""
+    assert check_golden() == []
+
+
 def test_golden_runs_are_strictly_validated():
     artifacts = golden_run("sdskv")
     assert artifacts.violations == []
