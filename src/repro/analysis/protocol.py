@@ -1,0 +1,100 @@
+"""The analysis-service request/response protocol.
+
+Modeled on ``algo74/py-sim-serv``'s ``protocol.md``: a request is one
+JSON object naming an operation plus parameters, a reply is one JSON
+object echoing the operation with a result or an error.  Over a socket
+both are newline-delimited; in-process they are the
+:class:`Query`/:class:`Reply` dataclasses directly.
+
+Wire encoding is *canonical* JSON (sorted keys, no whitespace), so the
+serialized reply to a given query over a given store is byte-identical
+across runs -- the determinism tests diff raw reply bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Query",
+    "Reply",
+    "decode_query",
+    "decode_reply",
+    "encode_query",
+    "encode_reply",
+]
+
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Query:
+    """One analysis request: an operation name plus its parameters."""
+
+    op: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"v": PROTOCOL_VERSION, "op": self.op, "params": self.params}
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One analysis response.
+
+    ``ok`` selects between ``result`` (the operation's payload) and
+    ``error`` (a human-readable failure string).
+    """
+
+    op: str
+    ok: bool
+    result: Optional[dict] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {
+            "v": PROTOCOL_VERSION, "op": self.op, "ok": self.ok,
+        }
+        if self.ok:
+            doc["result"] = self.result
+        else:
+            doc["error"] = self.error
+        return doc
+
+
+def _canonical(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def encode_query(query: Query) -> str:
+    return _canonical(query.to_dict())
+
+
+def decode_query(text: str) -> Query:
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or "op" not in doc:
+        raise ValueError("query must be a JSON object with an 'op' field")
+    v = doc.get("v", PROTOCOL_VERSION)
+    if v != PROTOCOL_VERSION:
+        raise ValueError(f"unsupported protocol version {v}")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ValueError("'params' must be an object")
+    return Query(op=str(doc["op"]), params=params)
+
+
+def encode_reply(reply: Reply) -> str:
+    return _canonical(reply.to_dict())
+
+
+def decode_reply(text: str) -> Reply:
+    doc = json.loads(text)
+    return Reply(
+        op=doc.get("op", ""),
+        ok=bool(doc.get("ok")),
+        result=doc.get("result"),
+        error=doc.get("error"),
+    )

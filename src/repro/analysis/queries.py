@@ -1,0 +1,298 @@
+"""The analysis service's query operations.
+
+Each operation is a pure function ``(store, params) -> result dict``
+answering one cross-run question over a
+:class:`~repro.store.PerfStore`:
+
+``runs``
+    Inventory of recorded runs.
+``regression``
+    Per-metric deltas between a base and a head run, each with a
+    bootstrap confidence interval -- "did this PR slow anything down".
+``trend``
+    One metric's statistic across many runs, keyed by seed or by a run
+    tag (scale, topology, ...) -- percentile trends vs. scale.
+``knobs``
+    Knob-importance table: for every config tag that varies across
+    runs, how much the chosen metric moves between its values.
+``detectors``
+    Anomaly-detector event summaries per run.
+``profile``
+    Top callpath-profile rows of one archived run.
+``bench_history``
+    The dated bench trajectory of one suite out of the store.
+
+All floats in results pass through :func:`~repro.analysis.stats.round9`
+and all iteration orders are sorted, so a serialized reply is
+byte-stable for a given (store, query) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .stats import (
+    bootstrap_ci,
+    bootstrap_delta_ci,
+    mean,
+    percentile,
+    round9,
+)
+
+__all__ = ["QUERY_OPS", "run_query"]
+
+
+def _stat_fn(name: str) -> Callable[[Sequence[float]], float]:
+    if name == "mean":
+        return mean
+    if name.startswith("p"):
+        try:
+            q = float(name[1:])
+        except ValueError:
+            raise ValueError(f"unknown stat {name!r}") from None
+        return lambda values: percentile(values, q)
+    raise ValueError(f"unknown stat {name!r} (use 'mean' or 'pNN')")
+
+
+def _boot_kwargs(params: dict) -> dict:
+    return {
+        "n_boot": int(params.get("boot", 200)),
+        "seed": int(params.get("seed", 0)),
+        "alpha": float(params.get("alpha", 0.05)),
+    }
+
+
+def q_runs(store, params: dict) -> dict:
+    runs = store.runs(kind=params.get("kind"))
+    return {"count": len(runs), "runs": runs}
+
+
+def q_regression(store, params: dict) -> dict:
+    """Per-metric base-vs-head deltas with bootstrap CIs.
+
+    A metric is *flagged* when its CI excludes zero -- the planted-
+    slowdown detection the store tests assert on.
+    """
+    base = store.resolve_run(params["base"])
+    head = store.resolve_run(params["head"])
+    stat_name = params.get("stat", "mean")
+    stat = _stat_fn(stat_name)
+    prefix = params.get("prefix")
+    kw = _boot_kwargs(params)
+
+    base_names = set(store.metric_names(base))
+    head_names = set(store.metric_names(head))
+    common = sorted(base_names & head_names)
+    if prefix:
+        common = [n for n in common if n.startswith(prefix)]
+
+    rows = []
+    for name in common:
+        vb = store.metric_values(base, name)
+        vh = store.metric_values(head, name)
+        if not vb or not vh:
+            continue
+        sb, sh = stat(vb), stat(vh)
+        delta = sh - sb
+        lo, hi = bootstrap_delta_ci(vb, vh, stat, **kw)
+        rows.append(
+            {
+                "metric": name,
+                "base": round9(sb),
+                "head": round9(sh),
+                "delta": round9(delta),
+                "rel_delta": round9(delta / sb) if sb else 0.0,
+                "ci_lo": lo,
+                "ci_hi": hi,
+                "flagged": bool(lo > 0.0 or hi < 0.0),
+            }
+        )
+    rows.sort(key=lambda r: (-abs(r["rel_delta"]), r["metric"]))
+    limit = params.get("limit")
+    if limit is not None:
+        rows = rows[: int(limit)]
+    return {
+        "base_run": base,
+        "head_run": head,
+        "stat": stat_name,
+        "metrics_compared": len(rows),
+        "flagged": sum(1 for r in rows if r["flagged"]),
+        "rows": rows,
+    }
+
+
+def q_trend(store, params: dict) -> dict:
+    """One metric's statistic (with CI) across runs, keyed by seed or a
+    run tag (``by="tag:<key>"``)."""
+    metric = params["metric"]
+    stat_name = params.get("stat", "p95")
+    stat = _stat_fn(stat_name)
+    by = params.get("by", "seed")
+    kw = _boot_kwargs(params)
+
+    points = []
+    for run in store.runs(kind=params.get("kind")):
+        values = store.metric_values(run["run_id"], metric)
+        if not values:
+            continue
+        if by == "seed":
+            x = run["seed"]
+        elif by == "name":
+            x = run["name"]
+        elif by.startswith("tag:"):
+            x = run["tags"].get(by[4:])
+        else:
+            raise ValueError(f"unknown 'by' key {by!r}")
+        lo, hi = bootstrap_ci(values, stat, **kw)
+        points.append(
+            {
+                "run_id": run["run_id"],
+                "x": x,
+                "value": round9(stat(values)),
+                "ci_lo": lo,
+                "ci_hi": hi,
+                "n_samples": len(values),
+            }
+        )
+    points.sort(key=lambda p: (str(p["x"]), p["run_id"]))
+    return {"metric": metric, "stat": stat_name, "by": by, "points": points}
+
+
+def q_knobs(store, params: dict) -> dict:
+    """Knob-importance table: for every varying run tag/config key, the
+    spread of the target metric's statistic across its values."""
+    metric = params["metric"]
+    stat = _stat_fn(params.get("stat", "mean"))
+
+    # Gather (knobs, value) per run that has the metric.
+    run_rows = []
+    for run in store.runs(kind=params.get("kind")):
+        values = store.metric_values(run["run_id"], metric)
+        if not values:
+            continue
+        knobs = {**run["config"], **run["tags"]}
+        run_rows.append((knobs, stat(values)))
+
+    keys = sorted({k for knobs, _ in run_rows for k in knobs})
+    rows = []
+    for key in keys:
+        groups: dict[str, list[float]] = {}
+        for knobs, value in run_rows:
+            if key in knobs:
+                groups.setdefault(str(knobs[key]), []).append(value)
+        if len(groups) < 2:
+            continue  # a knob that never varies carries no signal
+        group_means = {g: mean(vs) for g, vs in sorted(groups.items())}
+        spread = max(group_means.values()) - min(group_means.values())
+        base = min(group_means.values())
+        rows.append(
+            {
+                "knob": key,
+                "values": {g: round9(m) for g, m in group_means.items()},
+                "spread": round9(spread),
+                "rel_spread": round9(spread / base) if base else 0.0,
+                "n_runs": sum(len(vs) for vs in groups.values()),
+            }
+        )
+    rows.sort(key=lambda r: (-r["spread"], r["knob"]))
+    return {"metric": metric, "rows": rows}
+
+
+def q_detectors(store, params: dict) -> dict:
+    """Detector-event summaries: per run (or one run), counts plus
+    first/last firing per detector."""
+    if "run" in params:
+        runs = [store.run(params["run"])]
+    else:
+        runs = store.runs(kind=params.get("kind"))
+    out = []
+    for run in runs:
+        findings = store.findings(run["run_id"])
+        per: dict[str, dict] = {}
+        for f in findings:
+            d = per.setdefault(
+                f["detector"],
+                {
+                    "count": 0,
+                    "first": f["time"],
+                    "last": f["time"],
+                    "processes": set(),
+                },
+            )
+            d["count"] += 1
+            d["first"] = min(d["first"], f["time"])
+            d["last"] = max(d["last"], f["time"])
+            d["processes"].add(f["process"])
+        out.append(
+            {
+                "run_id": run["run_id"],
+                "name": run["name"],
+                "total": len(findings),
+                "detectors": {
+                    name: {
+                        "count": d["count"],
+                        "first": round9(d["first"]),
+                        "last": round9(d["last"]),
+                        "processes": sorted(d["processes"]),
+                    }
+                    for name, d in sorted(per.items())
+                },
+            }
+        )
+    return {"runs": out}
+
+
+def q_profile(store, params: dict) -> dict:
+    """Top callpath-profile rows of one run by cumulative time."""
+    run = store.resolve_run(params["run"])
+    side = params.get("side", "origin")
+    interval = params.get("interval")
+    top = int(params.get("top", 10))
+    rows = store.profile_rows(run, side)
+    if interval:
+        rows = [r for r in rows if r["interval"] == interval]
+    rows.sort(
+        key=lambda r: (-r["total"], r["callpath"], r["interval"])
+    )
+    return {
+        "run_id": run,
+        "side": side,
+        "rows": [
+            {
+                "callpath": f"{r['callpath']:#018x}",
+                "callpath_name": r["callpath_name"],
+                "origin": r["origin"],
+                "target": r["target"],
+                "interval": r["interval"],
+                "count": r["count"],
+                "total": round9(r["total"]),
+                "mean": round9(r["total"] / r["count"]) if r["count"] else 0.0,
+            }
+            for r in rows[:top]
+        ],
+    }
+
+
+def q_bench_history(store, params: dict) -> dict:
+    suite = params["suite"]
+    return {"suite": suite, "history": store.bench_history(suite)}
+
+
+QUERY_OPS: dict[str, Callable] = {
+    "runs": q_runs,
+    "regression": q_regression,
+    "trend": q_trend,
+    "knobs": q_knobs,
+    "detectors": q_detectors,
+    "profile": q_profile,
+    "bench_history": q_bench_history,
+}
+
+
+def run_query(store, op: str, params: dict) -> dict:
+    fn = QUERY_OPS.get(op)
+    if fn is None:
+        raise ValueError(
+            f"unknown op {op!r} (available: {', '.join(sorted(QUERY_OPS))})"
+        )
+    return fn(store, params)

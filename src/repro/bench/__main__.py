@@ -9,12 +9,17 @@ Usage::
     python -m repro.bench --check BASE.json  # fail on >25% regression
     python -m repro.bench --max-ratio hepnos_monitor/hepnos=1.20
                                              # gate a same-run overhead ratio
+    python -m repro.bench --store perf.db    # also archive into the store
+    python -m repro.bench --check perf.db    # gate against store baselines
 
 ``--check`` compares machine-normalized costs (median / calibration
 constant), so a committed baseline from one machine still gates runs on
-another; see ``docs/performance.md``.  ``--compare`` also appends a
-dated entry to the ``history`` list carried inside each BENCH JSON, so
-successive runs accumulate a perf trajectory instead of erasing it.
+another; see ``docs/performance.md``.  The baseline may be BENCH JSON or
+a performance-store ``.db`` (recorded with ``--store`` or imported via
+``python -m repro.store import-bench``).  ``--compare`` also appends a
+dated entry to the ``history`` list carried inside each BENCH JSON --
+idempotently: one entry per (machine, git revision), so re-running on
+the same checkout updates the trajectory instead of growing it.
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ import json
 import os
 import sys
 
-from .harness import check_ratios, check_regressions, history_entry, write_suite
+from .harness import (
+    check_ratios,
+    check_regressions,
+    dedupe_history,
+    history_entry,
+    write_suite,
+)
 from .kernel import run_kernel_benchmarks
 from .macro import run_macro_benchmarks
 
@@ -38,6 +49,23 @@ _SUITES = {
 def _load(path: str) -> dict:
     with open(path) as f:
         return json.load(f)
+
+
+def _load_baseline(path: str) -> dict:
+    """A --compare/--check source: BENCH JSON, or a performance-store
+    database (sniffed by the SQLite magic), whose recorded bench runs
+    become the baseline bundle."""
+    with open(path, "rb") as f:
+        magic = f.read(16)
+    if not magic.startswith(b"SQLite format 3"):
+        return _load(path)
+    from ..store import PerfStore
+
+    store = PerfStore(path)
+    try:
+        return store.bench_baseline()
+    finally:
+        store.close()
 
 
 def _baseline_for(compare: dict, suite_name: str) -> dict | None:
@@ -91,9 +119,14 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=".",
                         help="directory for BENCH_*.json (default: cwd)")
     parser.add_argument("--compare", default=None, metavar="OLD.json",
-                        help="embed OLD as the baseline and report speedups")
-    parser.add_argument("--check", default=None, metavar="BASELINE.json",
-                        help="exit 1 on >--threshold regression vs BASELINE")
+                        help="embed OLD (BENCH json or store .db) as the "
+                             "baseline and report speedups")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="exit 1 on >--threshold regression vs BASELINE "
+                             "(BENCH json or a performance-store .db)")
+    parser.add_argument("--store", default=None, metavar="PERF.db",
+                        help="also record the suite (and an idempotent "
+                             "history entry) into a performance store")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed relative regression for --check")
     parser.add_argument(
@@ -107,8 +140,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     log = (lambda s: None) if args.quiet else print
-    compare = _load(args.compare) if args.compare else None
-    check = _load(args.check) if args.check else None
+    compare = _load_baseline(args.compare) if args.compare else None
+    check = _load_baseline(args.check) if args.check else None
     suites = list(_SUITES) if args.suite == "all" else [args.suite]
     failures: list[str] = []
     all_results: dict[str, dict] = {}
@@ -125,11 +158,17 @@ def main(argv=None) -> int:
         baseline = compare and _baseline_for(compare, name)
         history = None
         if compare is not None:
-            history = _prior_history(path, baseline)
-            history.append(history_entry(suite, today))
+            history = dedupe_history(
+                _prior_history(path, baseline), history_entry(suite, today)
+            )
         payload = write_suite(suite, path, baseline=baseline, history=history)
         all_results.update(payload.get("results", {}))
         print(f"{name}: wrote {path}")
+        if args.store:
+            from ..store import record_bench_suite
+
+            run_id = record_bench_suite(args.store, payload, date=today)
+            print(f"{name}: recorded run {run_id} into {args.store}")
         for row in suite.rows():
             line = f"  {row['benchmark']:<16} {row['median']:>10}  {row['rate']}"
             speedups = payload.get("speedup_vs_baseline", {})

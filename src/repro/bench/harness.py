@@ -26,6 +26,7 @@ __all__ = [
     "check_ratios",
     "check_regressions",
     "compare_suites",
+    "dedupe_history",
     "history_entry",
     "machine_meta",
     "time_bench",
@@ -172,12 +173,36 @@ def write_suite(
 
 def history_entry(suite: SuiteResult, date: str) -> dict:
     """One dated trajectory entry: medians plus the calibration constant
-    needed to normalize them later."""
+    needed to normalize them later.
+
+    ``machine`` and ``git_rev`` identify where the numbers came from;
+    together with the suite they form the dedupe key that keeps
+    re-running ``--compare`` on the same checkout from growing the
+    trajectory (see :func:`dedupe_history`).
+    """
+    from ..store.writer import git_rev, normalized_machine
+
     return {
         "date": date,
+        "machine": normalized_machine(),
+        "git_rev": git_rev(),
         "calibration_s": suite.meta.get("calibration_s"),
         "results": {r.name: round(r.median_s, 6) for r in suite.results},
     }
+
+
+def dedupe_history(history: list, entry: dict) -> list:
+    """Append ``entry`` to ``history`` idempotently: any prior entry
+    from the same machine at the same git revision is replaced instead
+    of duplicated.  Entries predating the machine/git_rev fields are
+    kept as-is (their key is unknown)."""
+    key = (entry.get("machine"), entry.get("git_rev"))
+    kept = [
+        h for h in history
+        if None in key or (h.get("machine"), h.get("git_rev")) != key
+    ]
+    kept.append(entry)
+    return kept
 
 
 def _normalized(entry: dict, meta: dict) -> Optional[float]:

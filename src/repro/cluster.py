@@ -75,9 +75,23 @@ class Cluster:
         instrumentation_factory: Optional[Callable[[], Instrumentation]] = None,
         monitoring: Union[None, bool, MonitorConfig] = None,
         validate: Union[None, bool, ValidationConfig] = None,
+        store: Union[None, str, Any] = None,
+        run_name: Optional[str] = None,
+        run_tags: Optional[dict] = None,
     ):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
+        #: Seed of the cluster's RNG registry (recorded by the store).
+        self.seed = seed
+        #: Persistent performance store sink: a path, a
+        #: :class:`~repro.store.PerfStore`, or a ``StoreWriter``.  When
+        #: set, :meth:`shutdown` archives the run (monitor telemetry,
+        #: traces, profiles) via :func:`repro.store.record_cluster_run`;
+        #: :attr:`run_id` then holds the recorded run's id.
+        self.store = store
+        self.run_name = run_name
+        self.run_tags = dict(run_tags) if run_tags else {}
+        self.run_id: Optional[int] = None
 
         if fabric_config is None and preset is not None:
             fabric_config = preset.fabric
@@ -262,6 +276,17 @@ class Cluster:
             # abandoned handles; relax the drain invariants for them.
             self.validator.finalize(
                 allow_undrained=self.injector is not None
+            )
+        if self.store is not None:
+            # Lazy import: repro.store pulls in the symbiosys export
+            # surface, which this module must not import eagerly.
+            from .store import record_cluster_run
+
+            self.run_id = record_cluster_run(
+                self.store,
+                self,
+                name=self.run_name or f"cluster-seed{self.seed}",
+                tags=self.run_tags,
             )
 
     def __enter__(self) -> "Cluster":

@@ -134,6 +134,12 @@ def _overhead(args) -> None:
         repetitions=args.reps, events_per_client=min(args.events, 512),
         jobs=args.jobs,
     )
+    if args.store:
+        from ..store import record_overhead_study
+
+        run_id = record_overhead_study(args.store, study, seed=args.seed)
+        # Store chatter goes to stderr; stdout feeds the CI diff gate.
+        print(f"[recorded run {run_id} into {args.store}]", file=sys.stderr)
     print("Overhead study: simulated quantities per stage")
     rows = [
         {
@@ -160,11 +166,15 @@ def _monitor(args) -> None:
     # The smoke shape still spans the fault window (crash at 0.8 ms), so
     # both the starvation and timeout-burst detectors get exercised.
     kw = {"n_records": 600, "batch_size": 50} if args.smoke else {}
-    result = run_monitor_experiment(seed=args.seed, out_dir=args.out, **kw)
+    result = run_monitor_experiment(
+        seed=args.seed, out_dir=args.out, store=args.store, **kw
+    )
     print("Monitored campaign: online telemetry under injected faults")
     print(result.report())
     if args.out:
         print(f"artifacts written to {args.out}/")
+    if args.store:
+        print(f"[run recorded into {args.store}]", file=sys.stderr)
 
 
 def _table4(args) -> None:
@@ -221,6 +231,10 @@ def main(argv=None) -> int:
                         help="reduced workload for CI smoke runs")
     parser.add_argument("--out", default=None,
                         help="artifact output directory for the monitor target")
+    parser.add_argument("--store", default=None,
+                        help="performance-store .db path; the monitor and "
+                             "overhead targets archive their runs into it "
+                             "(query with python -m repro.analysis)")
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:

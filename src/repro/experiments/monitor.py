@@ -28,7 +28,7 @@ from ..faults import FaultPlan
 from ..margo import MargoError, RetryPolicy
 from ..services.sonata import SonataClient, SonataProvider
 from ..symbiosys import Stage
-from ..symbiosys.exporters import series_to_csv, to_prometheus, write_text
+from ..symbiosys.export import series_to_csv, to_prometheus, write_text
 from ..symbiosys.monitor import Finding, MonitorConfig
 from ..symbiosys.perfetto import chrome_trace_json
 from ..workloads import generate_json_records
@@ -147,11 +147,16 @@ def run_monitor_experiment(
     retry: Optional[RetryPolicy] = None,
     out_dir: Optional[str] = None,
     time_limit: float = 600.0,
+    store=None,
 ) -> MonitorExperimentResult:
     """Run the Sonata workload under faults with the monitor attached.
 
     ``out_dir``, if given, receives the four artifacts (Prometheus
     snapshot, CSV time-series, Perfetto timeline, findings log).
+    ``store``, if given (a path or :class:`~repro.store.PerfStore`),
+    receives the full run -- telemetry, traces, profiles -- as one
+    archived run named ``monitor-seed<seed>``; the artifacts written to
+    ``out_dir`` stay byte-identical either way.
     """
     monitor_config = (
         monitor_config if monitor_config is not None else default_monitor_config()
@@ -165,6 +170,14 @@ def run_monitor_experiment(
         fault_plan=plan,
         retry=retry,
         monitoring=monitor_config,
+        store=store,
+        run_name=f"monitor-seed{seed}",
+        run_tags={
+            "experiment": "monitor",
+            "plan": plan.name,
+            "n_records": str(n_records),
+            "batch_size": str(batch_size),
+        },
     ) as cluster:
         server = cluster.process(_SERVER, "nodeA", n_handler_es=2)
         SonataProvider(server, _PROVIDER_ID)

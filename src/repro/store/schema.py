@@ -1,0 +1,222 @@
+"""Versioned SQLite schema of the persistent performance store.
+
+One ``.db`` file holds any number of *runs* -- monitored cluster
+campaigns, overhead studies, bench suites -- each decomposed into the
+columnar tables below.  The layout follows the SOS/LDMS shape the
+``algo74/py-sim-serv`` exemplar queries: narrow append-only tables keyed
+by run, with metric samples separated from metric identity so a
+time-series scan never touches label strings.
+
+Tables (schema version 1):
+
+``meta``
+    Key/value store metadata; carries ``schema_version``.
+``runs``
+    One row per recorded run: name, kind (``cluster`` / ``overhead`` /
+    ``bench``), seed, JSON config/tags, free-form ``extra`` JSON
+    (fault-event traces land here).
+``metrics`` / ``samples``
+    Metric identity (name, canonical ``k=v|k=v`` label string, Prometheus
+    kind, help) and its ``(t, value)`` time-series rows.
+``pvar_samples``
+    A *view* over metrics/samples restricted to the ``pvar_``-prefixed
+    families -- the Table I/II PVAR snapshots as their own queryable
+    relation.
+``trace_events``
+    Full-fidelity SYMBIOSYS trace events (span ids, callpaths, JSON
+    payloads), losslessly restorable to ``TraceEvent`` objects.
+``sched_slices``
+    ULT scheduler run/block slices from the monitor's recorder.
+``findings``
+    Timestamped anomaly-detector findings.
+``profiles``
+    Flattened callpath-profile interval statistics (count / total /
+    min / max plus the bounded distribution reservoir as JSON), one row
+    per (side, callpath, origin, target, interval).
+``callpath_names``
+    Component-hash -> RPC-name mapping captured at record time so
+    archived callpaths stay decodable without the live registry.
+``bench_results``
+    Per-benchmark medians/repeats of one recorded bench suite run.
+``bench_history``
+    The dated cross-run bench trajectory; ``UNIQUE(suite, machine,
+    git_rev)`` makes history appends idempotent (re-recording the same
+    rev on the same machine replaces instead of duplicating).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+__all__ = ["SCHEMA_VERSION", "ensure_schema", "schema_version"]
+
+SCHEMA_VERSION = 1
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS runs (
+    run_id  INTEGER PRIMARY KEY,
+    name    TEXT NOT NULL,
+    kind    TEXT NOT NULL DEFAULT 'cluster',
+    seed    INTEGER,
+    config  TEXT NOT NULL DEFAULT '{}',
+    tags    TEXT NOT NULL DEFAULT '{}',
+    extra   TEXT NOT NULL DEFAULT '{}',
+    created TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_runs_name ON runs(name);
+
+CREATE TABLE IF NOT EXISTS metrics (
+    metric_id INTEGER PRIMARY KEY,
+    run_id    INTEGER NOT NULL REFERENCES runs(run_id),
+    name      TEXT NOT NULL,
+    labels    TEXT NOT NULL DEFAULT '',
+    kind      TEXT NOT NULL DEFAULT 'gauge',
+    help      TEXT NOT NULL DEFAULT '',
+    UNIQUE(run_id, name, labels)
+);
+
+CREATE TABLE IF NOT EXISTS samples (
+    metric_id INTEGER NOT NULL REFERENCES metrics(metric_id),
+    t         REAL NOT NULL,
+    value     REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_samples_metric ON samples(metric_id, t);
+
+CREATE VIEW IF NOT EXISTS pvar_samples AS
+    SELECT m.run_id  AS run_id,
+           m.name    AS name,
+           m.labels  AS labels,
+           s.t       AS t,
+           s.value   AS value
+    FROM metrics m JOIN samples s ON s.metric_id = m.metric_id
+    WHERE m.name LIKE 'pvar\\_%' ESCAPE '\\';
+
+CREATE TABLE IF NOT EXISTS trace_events (
+    run_id         INTEGER NOT NULL REFERENCES runs(run_id),
+    seq            INTEGER NOT NULL,
+    kind           TEXT NOT NULL,
+    request_id     TEXT NOT NULL,
+    ord            INTEGER NOT NULL,
+    lamport        INTEGER NOT NULL,
+    process        TEXT NOT NULL,
+    local_ts       REAL NOT NULL,
+    true_ts        REAL NOT NULL,
+    rpc_name       TEXT NOT NULL,
+    callpath       INTEGER NOT NULL,
+    span_id        INTEGER NOT NULL,
+    parent_span_id INTEGER,
+    provider_id    INTEGER NOT NULL DEFAULT 0,
+    data           TEXT NOT NULL DEFAULT '{}',
+    pvars          TEXT NOT NULL DEFAULT '{}',
+    sysstats       TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS idx_trace_events_run ON trace_events(run_id, seq);
+
+CREATE TABLE IF NOT EXISTS sched_slices (
+    run_id  INTEGER NOT NULL REFERENCES runs(run_id),
+    seq     INTEGER NOT NULL,
+    process TEXT NOT NULL,
+    es      TEXT NOT NULL,
+    ult     TEXT NOT NULL,
+    kind    TEXT NOT NULL,
+    start   REAL NOT NULL,
+    end     REAL NOT NULL,
+    reason  TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_sched_slices_run ON sched_slices(run_id, seq);
+
+CREATE TABLE IF NOT EXISTS findings (
+    run_id   INTEGER NOT NULL REFERENCES runs(run_id),
+    seq      INTEGER NOT NULL,
+    time     REAL NOT NULL,
+    detector TEXT NOT NULL,
+    process  TEXT NOT NULL,
+    message  TEXT NOT NULL,
+    value    REAL NOT NULL DEFAULT 0.0
+);
+CREATE INDEX IF NOT EXISTS idx_findings_run ON findings(run_id, seq);
+
+CREATE TABLE IF NOT EXISTS profiles (
+    run_id        INTEGER NOT NULL REFERENCES runs(run_id),
+    side          TEXT NOT NULL,
+    callpath      INTEGER NOT NULL,
+    callpath_name TEXT NOT NULL DEFAULT '',
+    origin        TEXT NOT NULL,
+    target        TEXT NOT NULL,
+    interval      TEXT NOT NULL,
+    count         INTEGER NOT NULL,
+    total         REAL NOT NULL,
+    min           REAL NOT NULL,
+    max           REAL NOT NULL,
+    reservoir     TEXT NOT NULL DEFAULT '[]'
+);
+CREATE INDEX IF NOT EXISTS idx_profiles_run ON profiles(run_id, side);
+
+CREATE TABLE IF NOT EXISTS callpath_names (
+    run_id    INTEGER NOT NULL REFERENCES runs(run_id),
+    component INTEGER NOT NULL,
+    name      TEXT NOT NULL,
+    UNIQUE(run_id, component, name)
+);
+
+CREATE TABLE IF NOT EXISTS bench_results (
+    run_id        INTEGER NOT NULL REFERENCES runs(run_id),
+    suite         TEXT NOT NULL,
+    benchmark     TEXT NOT NULL,
+    median_s      REAL NOT NULL,
+    runs_s        TEXT NOT NULL DEFAULT '[]',
+    units         INTEGER NOT NULL DEFAULT 0,
+    unit_name     TEXT NOT NULL DEFAULT 'ops',
+    rate_per_s    REAL NOT NULL DEFAULT 0.0,
+    calibration_s REAL
+);
+CREATE INDEX IF NOT EXISTS idx_bench_results_suite ON bench_results(suite);
+
+CREATE TABLE IF NOT EXISTS bench_history (
+    suite         TEXT NOT NULL,
+    machine       TEXT NOT NULL,
+    git_rev       TEXT NOT NULL,
+    date          TEXT NOT NULL,
+    calibration_s REAL,
+    results       TEXT NOT NULL DEFAULT '{}',
+    UNIQUE(suite, machine, git_rev)
+);
+"""
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create all tables (idempotent) and stamp/verify the version.
+
+    Opening a store written by a *newer* schema raises rather than
+    silently misreading it; same-or-older versions of this exact layout
+    are accepted (there is only version 1 so far).
+    """
+    conn.executescript(_DDL)
+    row = conn.execute(
+        "SELECT value FROM meta WHERE key = 'schema_version'"
+    ).fetchone()
+    if row is None:
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        conn.commit()
+        return
+    found = int(row[0])
+    if found > SCHEMA_VERSION:
+        raise RuntimeError(
+            f"store schema version {found} is newer than supported "
+            f"version {SCHEMA_VERSION}; upgrade this checkout"
+        )
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    row = conn.execute(
+        "SELECT value FROM meta WHERE key = 'schema_version'"
+    ).fetchone()
+    return int(row[0]) if row is not None else 0

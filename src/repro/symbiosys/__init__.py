@@ -11,13 +11,15 @@ Public surface:
 * :class:`Monitor` / :class:`MonitorConfig` -- always-on online
   telemetry: periodic sampling into ring-buffer time-series, scheduler
   slice recording, and anomaly detection.
-* :mod:`repro.symbiosys.exporters` / :mod:`repro.symbiosys.perfetto` --
-  Prometheus text, CSV time-series, and Chrome trace-event exports.
+* :mod:`repro.symbiosys.export` -- the unified export surface
+  (Prometheus text, CSV time-series, profile CSV, trace JSON,
+  Perfetto, and the persistent performance store) behind one
+  ``Exporter`` registry.
 """
 
 from .callpath import MAX_DEPTH, CallpathRegistry, components, depth, hash16, push
 from .collector import SymbiosysCollector
-from .exporters import series_to_csv, to_prometheus
+from .export import series_to_csv, to_prometheus
 from .instrument import SymbiosysInstrumentation
 from .metrics import MetricsRegistry, SeriesStore, TimeSeries
 from .monitor import AnomalyDetector, Finding, Monitor, MonitorConfig

@@ -18,9 +18,9 @@ import io
 import json
 from typing import Iterable, Optional
 
-from .callpath import CallpathRegistry
-from .profiling import ProfileStore
-from .tracing import EventKind, TraceEvent
+from ..callpath import CallpathRegistry
+from ..profiling import ProfileStore
+from ..tracing import EventKind, TraceEvent
 
 __all__ = [
     "profile_to_rows",

@@ -1,0 +1,54 @@
+"""Store exporter: archive a run bundle into a persistent perf store.
+
+Unlike the text exporters this one has no meaningful :meth:`render` --
+its artifact is rows in a SQLite store (see :mod:`repro.store`), from
+which the same bytes as every text export can be regenerated later via
+:class:`~repro.store.archive.ArchivedRun`.
+
+``repro.store`` is imported lazily inside methods: this module is part
+of the ``repro.symbiosys.export`` package, which ``repro.store``'s
+writer itself imports, and the laziness breaks the cycle.
+"""
+
+from __future__ import annotations
+
+from .registry import ExportBundle, Exporter, register_exporter
+
+__all__ = ["StoreExporter"]
+
+
+@register_exporter
+class StoreExporter(Exporter):
+    """Record the bundle as one run in a :class:`~repro.store.PerfStore`."""
+
+    name = "store"
+    filename = "perf.db"
+
+    def render(self, bundle: ExportBundle) -> str:
+        raise ValueError(
+            "the store exporter writes a database, not text; use "
+            ".write(bundle, path) and query it with repro.analysis"
+        )
+
+    def write(self, bundle: ExportBundle, path) -> int:
+        """Append the bundle to the store at ``path``; returns run_id."""
+        from ...store import PerfStore, StoreWriter
+
+        store = PerfStore(path)
+        try:
+            writer = StoreWriter(store)
+            run_id = writer.begin_run(
+                bundle.name or "run",
+                kind=bundle.kind,
+                seed=bundle.seed,
+                config=bundle.config,
+                tags=bundle.tags,
+            )
+            if bundle.monitor is not None:
+                writer.record_monitor(run_id, bundle.monitor)
+            if bundle.collector is not None:
+                writer.record_collector(run_id, bundle.collector)
+            writer.flush()
+            return run_id
+        finally:
+            store.close()

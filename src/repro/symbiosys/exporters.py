@@ -1,102 +1,22 @@
-"""Text exporters for the online telemetry layer.
+"""Deprecated alias for :mod:`repro.symbiosys.export`.
 
-Two formats, both byte-deterministic for same-seed runs:
-
-* :func:`to_prometheus` -- a Prometheus text-exposition snapshot of a
-  :class:`~repro.symbiosys.metrics.MetricsRegistry` (``# HELP`` /
-  ``# TYPE`` headers, label sets, ``_bucket``/``_sum``/``_count``
-  histogram series).
-* :func:`series_to_csv` -- the full ring-buffer time-series of a
-  :class:`~repro.symbiosys.metrics.SeriesStore` as CSV rows.
-
-Timestamps are *simulated* seconds; nothing here reads a wall clock.
+The text exporters moved into the unified export package; import
+:func:`to_prometheus`, :func:`series_to_csv`, and :func:`write_text`
+from ``repro.symbiosys.export`` instead.  This shim keeps historical
+imports working and will be removed in a future release.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Optional
+import warnings
 
-from .metrics import (
-    Counter,
-    Gauge,
-    Histogram,
-    LabelItems,
-    MetricsRegistry,
-    SeriesStore,
-)
+from .export.text import series_to_csv, to_prometheus, write_text
 
 __all__ = ["series_to_csv", "to_prometheus", "write_text"]
 
-
-def _fmt_value(v) -> str:
-    """Canonical numeric rendering: integers without a trailing ``.0``,
-    floats via ``repr`` (shortest round-trip form), infinities in
-    Prometheus spelling."""
-    if isinstance(v, bool):  # guard: bool is an int subclass
-        return "1" if v else "0"
-    if isinstance(v, int):
-        return str(v)
-    if isinstance(v, float):
-        if math.isinf(v):
-            return "+Inf" if v > 0 else "-Inf"
-        if v == int(v) and abs(v) < 1e15:
-            return str(int(v))
-        return repr(v)
-    return str(v)
-
-
-def _escape_label(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-
-
-def _render_labels(labels: LabelItems, extra: Optional[list] = None) -> str:
-    items = list(labels) + (extra or [])
-    if not items:
-        return ""
-    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in items)
-    return "{" + inner + "}"
-
-
-def to_prometheus(registry: MetricsRegistry) -> str:
-    """Render the registry in Prometheus text exposition format."""
-    lines: list[str] = []
-    for name, kind, help, metrics in registry.collect():
-        if help:
-            lines.append(f"# HELP {name} {help}")
-        lines.append(f"# TYPE {name} {kind}")
-        for m in metrics:
-            if isinstance(m, (Counter, Gauge)):
-                lines.append(
-                    f"{name}{_render_labels(m.labels)} {_fmt_value(m.value)}"
-                )
-            elif isinstance(m, Histogram):
-                for bound, cum in m.cumulative():
-                    le = _render_labels(m.labels, [("le", _fmt_value(bound))])
-                    lines.append(f"{name}_bucket{le} {cum}")
-                ls = _render_labels(m.labels)
-                lines.append(f"{name}_sum{ls} {_fmt_value(m.total)}")
-                lines.append(f"{name}_count{ls} {m.count}")
-            else:  # pragma: no cover - registry only creates the above
-                raise TypeError(f"unknown metric type {type(m).__name__}")
-    return "\n".join(lines) + "\n"
-
-
-def series_to_csv(store: SeriesStore) -> str:
-    """Render every time-series as CSV: ``name,labels,time,value``.
-
-    Series appear in sorted ``(name, labels)`` order, samples in
-    chronological order; labels are ``k=v`` pairs joined with ``|``.
-    """
-    lines = ["name,labels,time,value"]
-    for ts in store.all_series():
-        labels = "|".join(f"{k}={v}" for k, v in ts.labels)
-        for t, v in ts.samples():
-            lines.append(f"{ts.name},{labels},{_fmt_value(t)},{_fmt_value(v)}")
-    return "\n".join(lines) + "\n"
-
-
-def write_text(path, text: str) -> None:
-    """Write an export with a stable newline convention."""
-    with open(path, "w", newline="\n") as f:
-        f.write(text)
+warnings.warn(
+    "repro.symbiosys.exporters is deprecated; "
+    "import from repro.symbiosys.export instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

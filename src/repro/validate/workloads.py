@@ -20,7 +20,7 @@ from ..faults import FaultPlan
 from ..margo import MargoError, RetryPolicy
 from ..symbiosys import Stage
 from ..symbiosys.analysis import profile_summary
-from ..symbiosys.exporters import series_to_csv, to_prometheus
+from ..symbiosys.export import series_to_csv, to_prometheus
 from ..symbiosys.monitor import MonitorConfig
 from ..symbiosys.perfetto import chrome_trace_json
 from .invariants import InvariantViolation, ValidationConfig

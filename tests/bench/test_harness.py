@@ -109,11 +109,13 @@ def test_history_accumulates_instead_of_overwriting(tmp_path):
         "2026-08-01",
         "2026-08-06",
     ]
-    assert payload["history"][0] == {
-        "date": "2026-08-01",
-        "calibration_s": 0.05,
-        "results": {"bench": 0.1},
-    }
+    first = payload["history"][0]
+    assert first["date"] == "2026-08-01"
+    assert first["calibration_s"] == 0.05
+    assert first["results"] == {"bench": 0.1}
+    # Entries now carry the dedupe identity (machine + git revision).
+    assert first["machine"]
+    assert "git_rev" in first
 
 
 def test_check_ratios_gates_same_run_overhead():

@@ -1,0 +1,41 @@
+"""Fixtures for the performance-store suite: one small monitored,
+instrumented echo campaign recorded into a store on disk."""
+
+import pytest
+
+from repro.store import PerfStore
+from repro.symbiosys import Stage
+
+from ..conftest import make_echo_cluster, run_client_calls
+
+
+def record_echo_run(db_path, *, seed=0, n_calls=8, name=None):
+    """Run a monitored + instrumented echo campaign and archive it into
+    ``db_path`` via the Cluster store sink.  Returns the live world (the
+    cluster keeps its monitor/collector after shutdown) so tests can
+    compare archived rows against the live objects."""
+    world = make_echo_cluster(
+        seed=seed,
+        stage=Stage.FULL,
+        monitoring=True,
+        store=str(db_path),
+        run_name=name or f"echo-seed{seed}",
+        run_tags={"workload": "echo", "n_calls": str(n_calls)},
+    )
+    results = run_client_calls(
+        world, [("echo", {"i": i}) for i in range(n_calls)]
+    )
+    assert world.sim.run_until(lambda: len(results) == n_calls, limit=5.0)
+    world.cluster.shutdown()
+    assert world.cluster.run_id is not None
+    return world
+
+
+@pytest.fixture
+def echo_store(tmp_path):
+    """(PerfStore, live world) for one recorded echo run."""
+    db = tmp_path / "perf.db"
+    world = record_echo_run(db)
+    store = PerfStore(str(db))
+    yield store, world
+    store.close()

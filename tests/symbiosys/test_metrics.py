@@ -12,7 +12,7 @@ from repro.symbiosys.metrics import (
     SeriesStore,
     TimeSeries,
 )
-from repro.symbiosys.exporters import series_to_csv, to_prometheus
+from repro.symbiosys.export import series_to_csv, to_prometheus
 
 
 # ------------------------------------------------------------ primitives

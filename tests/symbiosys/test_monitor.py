@@ -6,7 +6,7 @@ from types import SimpleNamespace
 import pytest
 
 from repro.cluster import Cluster
-from repro.symbiosys.exporters import series_to_csv, to_prometheus
+from repro.symbiosys.export import series_to_csv, to_prometheus
 from repro.symbiosys.monitor import (
     AnomalyDetector,
     Finding,
