@@ -8,6 +8,10 @@ Usage::
     python -m repro.analysis query trend --store perf.db \\
         --metric abt_handler_pool_depth --stat p95 --by seed
     python -m repro.analysis query detectors --store perf.db
+    python -m repro.analysis query breakdown --store perf.db --run 1
+    python -m repro.analysis query critical_path --store perf.db \\
+        --run 1 --top 5
+    python -m repro.analysis query blame --store perf.db --run 1
     python -m repro.analysis query bench_history --store perf.db \\
         --suite kernel
     python -m repro.analysis serve --store perf.db --port 9991
@@ -33,6 +37,7 @@ _PARAM_FLAGS = {
     "base": ("base", str),
     "head": ("head", str),
     "run": ("run", str),
+    "request": ("request", str),
     "metric": ("metric", str),
     "stat": ("stat", str),
     "by": ("by", str),

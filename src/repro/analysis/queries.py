@@ -19,8 +19,22 @@ answering one cross-run question over a
     Anomaly-detector event summaries per run.
 ``profile``
     Top callpath-profile rows of one archived run.
+``breakdown``
+    Per-operation latency decomposition of one run: mean seconds per
+    wait-state category with bootstrap CIs (Fig 11-12's quantities).
+``critical_path``
+    Per-request critical paths of one run: the ordered wait-state
+    segments of the slowest (or one named) request.
+``blame``
+    The cross-request interference matrix: who occupied the contended
+    resource while each victim operation waited, summed overlap.
 ``bench_history``
     The dated bench trajectory of one suite out of the store.
+
+The three critical-path ops prefer the ``breakdowns`` table written at
+record time and fall back to re-running the engine over the archived
+trace events (pre-v2 stores), so they work on any store that has the
+raw traces.
 
 All floats in results pass through :func:`~repro.analysis.stats.round9`
 and all iteration orders are sorted, so a serialized reply is
@@ -273,6 +287,196 @@ def q_profile(store, params: dict) -> dict:
     }
 
 
+def _breakdown_dicts(store, run_id: int) -> list[dict]:
+    """The run's per-request breakdowns as plain dicts: the stored rows
+    when the run was recorded under schema v2, else recomputed from the
+    archived trace events through the critical-path engine (identical
+    shape -- the writer serializes the same fields)."""
+    rows = store.breakdown_rows(run_id)
+    if rows:
+        return rows
+    if not store.trace_event_rows(run_id):
+        return []
+    from ..store.archive import ArchivedRun
+    from ..symbiosys.critical import analyze_run
+
+    report = analyze_run(ArchivedRun(store, run_id))
+    return [
+        {
+            "request_id": bd.request_id,
+            "span_id": bd.span_id,
+            "rpc_name": bd.rpc_name,
+            "origin": bd.origin,
+            "target": bd.target,
+            "start_ps": bd.start_ps,
+            "total_ps": bd.total_ps,
+            "start_true": bd.start_true,
+            "end_true": bd.end_true,
+            "n_faults": bd.n_faults,
+            "categories": dict(bd.categories),
+            "segments": [list(seg) for seg in bd.segments],
+            "blame": [[b.category, b.occupant, b.overlap_ps]
+                      for b in bd.blame],
+        }
+        for bd in report.breakdowns
+    ]
+
+
+def _retry_by_op(store, run_id: int) -> dict:
+    """Aggregate retry/timeout counts and backoff seconds per RPC."""
+    out: dict[str, dict] = {}
+    for rec in store.retry_records(run_id):
+        d = out.setdefault(
+            rec["rpc_name"], {"retries": 0, "timeouts": 0, "backoff_s": 0.0}
+        )
+        if rec["kind"] == "retry":
+            d["retries"] += 1
+            d["backoff_s"] += rec["delay"]
+        else:
+            d["timeouts"] += 1
+    return {
+        op: {**d, "backoff_s": round9(d["backoff_s"])}
+        for op, d in sorted(out.items())
+    }
+
+
+def q_breakdown(store, params: dict) -> dict:
+    """Per-operation wait-state decomposition with bootstrap CIs.
+
+    For every RPC name: the mean end-to-end latency and, per category,
+    the mean seconds spent there (CI over the per-request values) and
+    that category's share of the operation's total -- the machine-
+    readable form of the paper's Fig 11/12 stacked bars.
+    """
+    from ..symbiosys.critical import CATEGORIES
+
+    run = store.resolve_run(params["run"])
+    kw = _boot_kwargs(params)
+    rows = _breakdown_dicts(store, run)
+
+    by_op: dict[str, list[dict]] = {}
+    for r in rows:
+        by_op.setdefault(r["rpc_name"], []).append(r)
+
+    operations = []
+    for op in sorted(by_op):
+        group = by_op[op]
+        totals = [r["total_ps"] / 1e12 for r in group]
+        lo, hi = bootstrap_ci(totals, mean, **kw)
+        op_total_ps = sum(r["total_ps"] for r in group)
+        categories = {}
+        for cat in CATEGORIES:
+            values = [r["categories"].get(cat, 0) / 1e12 for r in group]
+            cat_ps = sum(r["categories"].get(cat, 0) for r in group)
+            if cat_ps == 0 and not any(values):
+                continue
+            clo, chi = bootstrap_ci(values, mean, **kw)
+            categories[cat] = {
+                "mean_s": round9(mean(values)),
+                "ci_lo": clo,
+                "ci_hi": chi,
+                "share": round9(cat_ps / op_total_ps)
+                if op_total_ps else 0.0,
+            }
+        operations.append(
+            {
+                "rpc": op,
+                "count": len(group),
+                "total_mean_s": round9(mean(totals)),
+                "ci_lo": lo,
+                "ci_hi": hi,
+                "categories": categories,
+            }
+        )
+
+    category_totals = {}
+    for cat in CATEGORIES:
+        ps = sum(r["categories"].get(cat, 0) for r in rows)
+        if ps:
+            category_totals[cat] = round9(ps / 1e12)
+    return {
+        "run_id": run,
+        "n_requests": len(rows),
+        "operations": operations,
+        "category_totals": category_totals,
+        "retry_by_op": _retry_by_op(store, run),
+    }
+
+
+def q_critical_path(store, params: dict) -> dict:
+    """Per-request critical paths: ordered wait-state segments of the
+    slowest ``top`` requests (or of one ``request`` by id)."""
+    run = store.resolve_run(params["run"])
+    request = params.get("request")
+    top = int(params.get("top", 10))
+    rows = _breakdown_dicts(store, run)
+    if request is not None:
+        rows = [r for r in rows if r["request_id"] == request]
+    rows.sort(key=lambda r: (-r["total_ps"], r["request_id"], r["span_id"]))
+    return {
+        "run_id": run,
+        "n_requests": len(rows),
+        "requests": [
+            {
+                "request_id": r["request_id"],
+                "rpc": r["rpc_name"],
+                "span_id": r["span_id"],
+                "origin": r["origin"],
+                "target": r["target"],
+                "total_s": round9(r["total_ps"] / 1e12),
+                "n_faults": r["n_faults"],
+                "segments": [
+                    {
+                        "category": cat,
+                        "start_s": round9(start / 1e12),
+                        "duration_s": round9(dur / 1e12),
+                    }
+                    for cat, start, dur in r["segments"]
+                ],
+            }
+            for r in rows[:top]
+        ],
+    }
+
+
+def q_blame(store, params: dict) -> dict:
+    """The cross-request interference matrix: for each victim RPC, who
+    occupied the contended resource while it waited, with the summed
+    overlap split by wait-state category."""
+    run = store.resolve_run(params["run"])
+    rows = _breakdown_dicts(store, run)
+
+    cells: dict[tuple[str, str], dict] = {}
+    for r in rows:
+        for cat, occupant, overlap_ps in r["blame"]:
+            cell = cells.setdefault(
+                (r["rpc_name"], occupant), {"overlap_ps": 0, "categories": {}}
+            )
+            cell["overlap_ps"] += overlap_ps
+            cell["categories"][cat] = (
+                cell["categories"].get(cat, 0) + overlap_ps
+            )
+    matrix = [
+        {
+            "victim": victim,
+            "occupant": occupant,
+            "overlap_s": round9(cell["overlap_ps"] / 1e12),
+            "categories": {
+                cat: round9(ps / 1e12)
+                for cat, ps in sorted(cell["categories"].items())
+            },
+        }
+        for (victim, occupant), cell in sorted(
+            cells.items(),
+            key=lambda kv: (-kv[1]["overlap_ps"], kv[0]),
+        )
+    ]
+    limit = params.get("limit")
+    if limit is not None:
+        matrix = matrix[: int(limit)]
+    return {"run_id": run, "n_requests": len(rows), "matrix": matrix}
+
+
 def q_bench_history(store, params: dict) -> dict:
     suite = params["suite"]
     return {"suite": suite, "history": store.bench_history(suite)}
@@ -285,6 +489,9 @@ QUERY_OPS: dict[str, Callable] = {
     "knobs": q_knobs,
     "detectors": q_detectors,
     "profile": q_profile,
+    "breakdown": q_breakdown,
+    "critical_path": q_critical_path,
+    "blame": q_blame,
     "bench_history": q_bench_history,
 }
 

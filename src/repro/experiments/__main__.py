@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 
+from .breakdown import run_breakdown_experiment
 from .configs import TABLE_IV, table_iv_rows
 from .hepnos import run_hepnos_experiment
 from .mobject import run_mobject_experiment
@@ -177,6 +178,25 @@ def _monitor(args) -> None:
         print(f"[run recorded into {args.store}]", file=sys.stderr)
 
 
+def _breakdown(args) -> None:
+    # Fig 11-12 through the critical-path engine: per-request latency
+    # decomposition with the sum-to-total invariant machine-checked.
+    kw = {"events_per_client": 96, "configs": ("C4", "C5")} \
+        if args.smoke else {}
+    result = run_breakdown_experiment(
+        seed=args.seed, store=args.store, out_dir=args.out, **kw
+    )
+    print(result.report())
+    if args.out:
+        print(f"artifacts written to {args.out}/")
+    if args.store:
+        print(f"[runs recorded into {args.store}]", file=sys.stderr)
+    result.check_invariants()
+    if not result.fig11_check():
+        raise SystemExit("fig11 check failed: batch-1 regime did not "
+                         "wait more on the completion queue")
+
+
 def _table4(args) -> None:
     print("Table IV: HEPnOS service configurations")
     print(ascii_table(table_iv_rows()))
@@ -203,6 +223,7 @@ TARGETS = {
     "table5": _table5,
     "faults": _faults,
     "monitor": _monitor,
+    "breakdown": _breakdown,
 }
 
 

@@ -617,9 +617,9 @@ class HGCore:
         if entry.kind is CQKind.RECV:
             wire = entry.payload.payload
             if isinstance(wire, RequestWire):
-                self._on_request(wire)
+                self._on_request(wire, entry.enqueued_at)
             elif isinstance(wire, ResponseWire):
-                self._on_response(wire)
+                self._on_response(wire, entry.enqueued_at)
             else:
                 raise TypeError(f"unexpected wire payload {wire!r}")
         elif entry.kind is CQKind.SEND_COMPLETE:
@@ -641,7 +641,9 @@ class HGCore:
             else:
                 raise TypeError(f"unexpected RDMA completion tag {tag!r}")
 
-    def _on_request(self, wire: RequestWire) -> None:
+    def _on_request(
+        self, wire: RequestWire, arrived_at: Optional[float] = None
+    ) -> None:
         handle = HGHandle(
             cookie=wire.cookie,
             rpc_name=wire.rpc_name,
@@ -653,6 +655,12 @@ class HGCore:
         handle.input = wire.payload
         handle.input_size = wire.input_size
         handle.marks["t3"] = self.sim.now
+        # When the request hit the target's endpoint CQ: the window
+        # [t_arrival, t3] is OFI backlog / progress starvation, not wire
+        # transit, and the critical-path engine splits on it.
+        handle.marks["t_arrival"] = (
+            self.sim.now if arrived_at is None else arrived_at
+        )
         if wire.needs_rdma:
             # Pull the overflowed metadata before handing the request up
             # (t3 -> t4); progress keeps running meanwhile.
@@ -685,7 +693,9 @@ class HGCore:
             return True
         return False
 
-    def _on_response(self, wire: ResponseWire) -> None:
+    def _on_response(
+        self, wire: ResponseWire, arrived_at: Optional[float] = None
+    ) -> None:
         if wire.cookie in self._cancelled:
             self._cancelled.discard(wire.cookie)
             self.pvars.add_at(self._pv_late_drops, 1)
@@ -703,6 +713,12 @@ class HGCore:
         handle.output_size = wire.output_size
         handle.header.update(wire.header)
         handle._t12 = self.sim.now  # completion moved to HG queue
+        # t11: response reached the origin endpoint CQ; t12: this
+        # progress iteration moved it to the HG completion queue.
+        handle.marks["t11"] = (
+            self.sim.now if arrived_at is None else arrived_at
+        )
+        handle.marks["t12"] = self.sim.now
 
         def _complete() -> None:
             if self.pvars_enabled:

@@ -250,9 +250,57 @@ class PerfStore:
                 "process": r["process"],
                 "message": r["message"],
                 "value": r["value"],
+                "wait_state": r["wait_state"],
             }
             for r in self.conn.execute(
                 "SELECT * FROM findings WHERE run_id = ? ORDER BY seq",
+                (run_id,),
+            )
+        ]
+
+    def retry_records(self, run: Union[int, str]) -> list[dict]:
+        """Retry/timeout episodes of one run, in recording order."""
+        run_id = self.resolve_run(run)
+        return [
+            {
+                "time": r["time"],
+                "process": r["process"],
+                "request_id": r["request_id"],
+                "rpc_name": r["rpc_name"],
+                "attempt": r["attempt"],
+                "delay": r["delay"],
+                "target": r["target"],
+                "kind": r["kind"],
+            }
+            for r in self.conn.execute(
+                "SELECT * FROM retry_records WHERE run_id = ? ORDER BY seq",
+                (run_id,),
+            )
+        ]
+
+    def breakdown_rows(self, run: Union[int, str]) -> list[dict]:
+        """Stored per-request critical-path decompositions (JSON fields
+        decoded), in recording order -- empty for pre-v2 runs, which the
+        analysis ops fall back to recomputing via the engine."""
+        run_id = self.resolve_run(run)
+        return [
+            {
+                "request_id": r["request_id"],
+                "span_id": r["span_id"],
+                "rpc_name": r["rpc_name"],
+                "origin": r["origin"],
+                "target": r["target"],
+                "start_ps": r["start_ps"],
+                "total_ps": r["total_ps"],
+                "start_true": r["start_true"],
+                "end_true": r["end_true"],
+                "n_faults": r["n_faults"],
+                "categories": json.loads(r["categories"]),
+                "segments": json.loads(r["segments"]),
+                "blame": json.loads(r["blame"]),
+            }
+            for r in self.conn.execute(
+                "SELECT * FROM breakdowns WHERE run_id = ? ORDER BY seq",
                 (run_id,),
             )
         ]

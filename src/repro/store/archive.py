@@ -20,7 +20,7 @@ from typing import Union
 
 from ..symbiosys.monitor import Finding, SchedSlice
 from ..symbiosys.profiling import IntervalStats, ProfileKey, ProfileStore
-from ..symbiosys.tracing import EventKind, TraceEvent
+from ..symbiosys.tracing import EventKind, RetryRecord, TraceEvent
 
 __all__ = ["ArchivedCallpathNames", "ArchivedRun"]
 
@@ -51,9 +51,11 @@ class ArchivedCallpathNames:
 class ArchivedRun:
     """One stored run, presented like a live collector/monitor.
 
-    Duck-typed surface: ``all_events()``, ``merged_origin_profile()``,
-    ``merged_target_profile()``, ``registry`` (decode-capable),
-    ``findings``, ``sched_slices()``, ``total_trace_events``.
+    Duck-typed surface: ``all_events()``, ``all_retries()``,
+    ``merged_origin_profile()``, ``merged_target_profile()``,
+    ``registry`` (decode-capable), ``findings``, ``sched_slices()``,
+    ``total_trace_events``.  The critical-path engine's
+    :func:`~repro.symbiosys.critical.analyze_run` accepts it directly.
     """
 
     def __init__(self, store, run: Union[int, str]):
@@ -126,6 +128,34 @@ class ArchivedRun:
     def merged_target_profile(self) -> ProfileStore:
         return self._profile("target")
 
+    def all_retries(self) -> list[RetryRecord]:
+        """The run's retry/timeout records, restored in the collector's
+        merged order (empty for pre-v2 stores)."""
+        return [
+            RetryRecord(
+                process=r["process"],
+                time=r["time"],
+                request_id=r["request_id"],
+                rpc_name=r["rpc_name"],
+                attempt=r["attempt"],
+                delay=r["delay"],
+                target=r["target"],
+                kind=r["kind"],
+            )
+            for r in self.store.retry_records(self.run_id)
+        ]
+
+    def retries_by_process(self) -> dict[str, list[RetryRecord]]:
+        out: dict[str, list[RetryRecord]] = {}
+        for rec in self.all_retries():
+            out.setdefault(rec.process, []).append(rec)
+        return out
+
+    def breakdown_rows(self) -> list[dict]:
+        """Stored critical-path decompositions (see
+        ``PerfStore.breakdown_rows``)."""
+        return self.store.breakdown_rows(self.run_id)
+
     def merged_resilience(self) -> dict:
         """Run-wide degraded-mode gauges, as recorded at shutdown
         (empty for runs archived without a collector)."""
@@ -142,6 +172,7 @@ class ArchivedRun:
                 process=f["process"],
                 message=f["message"],
                 value=f["value"],
+                wait_state=f.get("wait_state", ""),
             )
             for f in self.store.findings(self.run_id)
         ]

@@ -28,7 +28,15 @@ Tables (schema version 1):
 ``sched_slices``
     ULT scheduler run/block slices from the monitor's recorder.
 ``findings``
-    Timestamped anomaly-detector findings.
+    Timestamped anomaly-detector findings (v2 adds ``wait_state``: the
+    dominant wait-state category from the critical-path engine).
+``retry_records``
+    Retry/timeout episodes from the instrumentation's forward hooks
+    (v2) -- the raw material of the ``retry_backoff`` category.
+``breakdowns``
+    Per-request critical-path decompositions (v2): integer-picosecond
+    category durations, ordered segments, and blame entries as JSON,
+    one row per complete root span.
 ``profiles``
     Flattened callpath-profile interval statistics (count / total /
     min / max plus the bounded distribution reservoir as JSON), one row
@@ -50,7 +58,7 @@ import sqlite3
 
 __all__ = ["SCHEMA_VERSION", "ensure_schema", "schema_version"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -137,9 +145,43 @@ CREATE TABLE IF NOT EXISTS findings (
     detector TEXT NOT NULL,
     process  TEXT NOT NULL,
     message  TEXT NOT NULL,
-    value    REAL NOT NULL DEFAULT 0.0
+    value    REAL NOT NULL DEFAULT 0.0,
+    wait_state TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_findings_run ON findings(run_id, seq);
+
+CREATE TABLE IF NOT EXISTS retry_records (
+    run_id     INTEGER NOT NULL REFERENCES runs(run_id),
+    seq        INTEGER NOT NULL,
+    time       REAL NOT NULL,
+    process    TEXT NOT NULL,
+    request_id TEXT NOT NULL,
+    rpc_name   TEXT NOT NULL,
+    attempt    INTEGER NOT NULL,
+    delay      REAL NOT NULL,
+    target     TEXT NOT NULL,
+    kind       TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_retry_records_run ON retry_records(run_id, seq);
+
+CREATE TABLE IF NOT EXISTS breakdowns (
+    run_id     INTEGER NOT NULL REFERENCES runs(run_id),
+    seq        INTEGER NOT NULL,
+    request_id TEXT NOT NULL,
+    span_id    INTEGER NOT NULL,
+    rpc_name   TEXT NOT NULL,
+    origin     TEXT NOT NULL,
+    target     TEXT NOT NULL,
+    start_ps   INTEGER NOT NULL,
+    total_ps   INTEGER NOT NULL,
+    start_true REAL NOT NULL,
+    end_true   REAL NOT NULL,
+    n_faults   INTEGER NOT NULL DEFAULT 0,
+    categories TEXT NOT NULL DEFAULT '{}',
+    segments   TEXT NOT NULL DEFAULT '[]',
+    blame      TEXT NOT NULL DEFAULT '[]'
+);
+CREATE INDEX IF NOT EXISTS idx_breakdowns_run ON breakdowns(run_id, seq);
 
 CREATE TABLE IF NOT EXISTS profiles (
     run_id        INTEGER NOT NULL REFERENCES runs(run_id),
@@ -190,13 +232,17 @@ CREATE TABLE IF NOT EXISTS bench_history (
 
 
 def ensure_schema(conn: sqlite3.Connection) -> None:
-    """Create all tables (idempotent) and stamp/verify the version.
+    """Create all tables (idempotent), migrate, and stamp the version.
 
     Opening a store written by a *newer* schema raises rather than
-    silently misreading it; same-or-older versions of this exact layout
-    are accepted (there is only version 1 so far).
+    silently misreading it; older stores are migrated in place:
+
+    * v1 -> v2: ``findings`` gains ``wait_state`` (backfilled to the
+      empty string); the ``retry_records`` and ``breakdowns`` tables
+      come for free from ``CREATE TABLE IF NOT EXISTS``.
     """
     conn.executescript(_DDL)
+    _migrate(conn)
     row = conn.execute(
         "SELECT value FROM meta WHERE key = 'schema_version'"
     ).fetchone()
@@ -212,6 +258,22 @@ def ensure_schema(conn: sqlite3.Connection) -> None:
         raise RuntimeError(
             f"store schema version {found} is newer than supported "
             f"version {SCHEMA_VERSION}; upgrade this checkout"
+        )
+    if found < SCHEMA_VERSION:
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION),),
+        )
+        conn.commit()
+
+
+def _migrate(conn: sqlite3.Connection) -> None:
+    """Bring a pre-v2 layout up to date (no-op on fresh stores)."""
+    cols = {r[1] for r in conn.execute("PRAGMA table_info(findings)")}
+    if cols and "wait_state" not in cols:
+        conn.execute(
+            "ALTER TABLE findings "
+            "ADD COLUMN wait_state TEXT NOT NULL DEFAULT ''"
         )
 
 

@@ -94,6 +94,8 @@ class StoreWriter:
         self._events: list[tuple] = []
         self._slices: list[tuple] = []
         self._findings: list[tuple] = []
+        self._retries: list[tuple] = []
+        self._breakdowns: list[tuple] = []
         self._profiles: list[tuple] = []
         self._callpath_names: list[tuple] = []
         self._bench_results: list[tuple] = []
@@ -181,8 +183,35 @@ class StoreWriter:
         base = len(self._findings)
         self._findings.extend(
             (run_id, base + i, f.time, f.detector, f.process, f.message,
-             f.value)
+             f.value, getattr(f, "wait_state", ""))
             for i, f in enumerate(findings)
+        )
+
+    def record_retries(self, run_id: int, retries: Iterable) -> None:
+        """Retry/timeout records from the collector's forward hooks."""
+        base = len(self._retries)
+        self._retries.extend(
+            (run_id, base + i, r.time, r.process, r.request_id, r.rpc_name,
+             r.attempt, r.delay, r.target, r.kind)
+            for i, r in enumerate(retries)
+        )
+
+    def record_breakdowns(self, run_id: int, report) -> None:
+        """Per-request critical-path decompositions of one
+        :class:`~repro.symbiosys.critical.CriticalReport`, one row per
+        breakdown, JSON for the nested category/segment/blame shapes."""
+        base = len(self._breakdowns)
+        self._breakdowns.extend(
+            (
+                run_id, base + i, bd.request_id, bd.span_id, bd.rpc_name,
+                bd.origin, bd.target, bd.start_ps, bd.total_ps,
+                bd.start_true, bd.end_true, bd.n_faults,
+                _dumps(dict(bd.categories)),
+                _dumps([list(seg) for seg in bd.segments]),
+                _dumps([[b.category, b.occupant, b.overlap_ps]
+                        for b in bd.blame]),
+            )
+            for i, bd in enumerate(report.breakdowns)
         )
 
     def record_sched_slices(
@@ -244,9 +273,12 @@ class StoreWriter:
             self._callpath_names.append((run_id, hash16(name), name))
 
     def record_collector(self, run_id: int, collector) -> None:
-        """Everything a SYMBIOSYS collector holds: trace events, both
-        profile sides, and the callpath name map."""
+        """Everything a SYMBIOSYS collector holds: trace events, retry
+        records, both profile sides, and the callpath name map."""
         self.record_trace_events(run_id, collector.all_events())
+        all_retries = getattr(collector, "all_retries", None)
+        if all_retries is not None:
+            self.record_retries(run_id, all_retries())
         self.record_profile(
             run_id, "origin", collector.merged_origin_profile(),
             collector.registry,
@@ -336,8 +368,24 @@ class StoreWriter:
         if self._findings:
             conn.executemany(
                 "INSERT INTO findings (run_id, seq, time, detector, process,"
-                " message, value) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                " message, value, wait_state)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 self._findings,
+            )
+        if self._retries:
+            conn.executemany(
+                "INSERT INTO retry_records (run_id, seq, time, process,"
+                " request_id, rpc_name, attempt, delay, target, kind)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                self._retries,
+            )
+        if self._breakdowns:
+            conn.executemany(
+                "INSERT INTO breakdowns (run_id, seq, request_id, span_id,"
+                " rpc_name, origin, target, start_ps, total_ps, start_true,"
+                " end_true, n_faults, categories, segments, blame)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                self._breakdowns,
             )
         if self._profiles:
             conn.executemany(
@@ -372,7 +420,8 @@ class StoreWriter:
             )
         for buf in (
             self._metrics, self._samples, self._events, self._slices,
-            self._findings, self._profiles, self._callpath_names,
+            self._findings, self._retries, self._breakdowns,
+            self._profiles, self._callpath_names,
             self._bench_results, self._bench_history,
         ):
             buf.clear()
@@ -414,7 +463,10 @@ def record_cluster_run(
 ) -> int:
     """Persist one finished :class:`~repro.cluster.Cluster` run: the
     monitor's telemetry (when monitoring was on) and the collector's
-    traces/profiles (when instrumentation was on)."""
+    traces/profiles/breakdowns (when instrumentation was on).  When
+    both are present, the critical-path engine runs once here and its
+    per-request breakdowns land in the ``breakdowns`` table; detector
+    findings are stored with their dominant wait state filled in."""
     writer, own = _open_writer(store)
     try:
         extra = {
@@ -431,10 +483,25 @@ def record_cluster_run(
             extra=extra,
             created=created,
         )
+        report = None
+        if cluster.collector is not None:
+            from ..symbiosys.critical import analyze_collector
+
+            report = analyze_collector(cluster.collector, cluster.monitor)
         if cluster.monitor is not None:
-            writer.record_monitor(run_id, cluster.monitor)
+            monitor = cluster.monitor
+            findings = monitor.findings
+            if report is not None:
+                from ..symbiosys.critical import annotate_findings
+
+                findings = annotate_findings(findings, report)
+            writer.record_series_store(run_id, monitor.store,
+                                       monitor.registry)
+            writer.record_findings(run_id, findings)
+            writer.record_sched_slices(run_id, monitor.sched.slices)
         if cluster.collector is not None:
             writer.record_collector(run_id, cluster.collector)
+            writer.record_breakdowns(run_id, report)
         writer.flush()
         return run_id
     finally:

@@ -14,7 +14,7 @@ from .callpath import CallpathRegistry
 from .instrument import SymbiosysInstrumentation
 from .profiling import ProfileStore
 from .stages import Stage
-from .tracing import FaultAnnotation, SpanIdAllocator, TraceEvent
+from .tracing import FaultAnnotation, RetryRecord, SpanIdAllocator, TraceEvent
 
 __all__ = ["SymbiosysCollector"]
 
@@ -95,6 +95,25 @@ class SymbiosysCollector:
     def annotations_by_process(self) -> dict[str, list[FaultAnnotation]]:
         return {
             instr.trace.process: list(instr.trace.annotations)
+            for instr in self.instruments
+            if instr.trace is not None
+        }
+
+    def all_retries(self) -> list[RetryRecord]:
+        """Every retry/timeout record from any process's trace buffer,
+        in stable time order."""
+        recs: list[RetryRecord] = []
+        for instr in self.instruments:
+            if instr.trace is not None:
+                recs.extend(instr.trace.retries)
+        recs.sort(
+            key=lambda r: (r.time, r.process, r.request_id, r.attempt, r.kind)
+        )
+        return recs
+
+    def retries_by_process(self) -> dict[str, list[RetryRecord]]:
+        return {
+            instr.trace.process: list(instr.trace.retries)
             for instr in self.instruments
             if instr.trace is not None
         }

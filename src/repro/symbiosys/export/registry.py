@@ -191,3 +191,25 @@ class PerfettoExporter(Exporter):
             collector=bundle.collector,
             fault_events=bundle.fault_events,
         )
+
+
+@register_exporter
+class CriticalPathExporter(Exporter):
+    """Perfetto trace with the per-request critical-path lane added:
+    each decomposed request's wait-state segments render as an async
+    track flow-linked to its RPC spans."""
+
+    name = "critical"
+    filename = "critical.trace.json"
+
+    def render(self, bundle: ExportBundle) -> str:
+        from ..critical import analyze_collector
+        from ..perfetto import chrome_trace_json
+
+        collector = bundle.require("collector", self.name)
+        return chrome_trace_json(
+            monitor=bundle.monitor,
+            collector=collector,
+            fault_events=bundle.fault_events,
+            critical=analyze_collector(collector, bundle.monitor),
+        )

@@ -247,7 +247,45 @@ class SymbiosysInstrumentation(Instrumentation):
             mi.stats.memory_bytes,
             t1_local,
             origin_exec,
+            # t11: when the response reached the origin endpoint CQ, so
+            # the critical-path engine can split transit from origin-side
+            # completion wait.  Falls back to t14 (zero wait) when the
+            # mark is missing (e.g. failed-over handles).
+            handle.marks.get("t11", t14),
             pvars=pvars,
+        )
+
+    def on_forward_timeout(self, mi, handle, ult, timeout: float) -> None:
+        if self.stage < Stage.STAGE2 or self.trace is None:
+            return
+        ctx = self._ctx(ult, mi)
+        self.trace.record_retry(
+            mi.sim.now,
+            ctx["request_id"],
+            handle.rpc_name if handle is not None else "?",
+            0,
+            0.0,
+            handle.target_addr if handle is not None else "?",
+            "timeout",
+        )
+
+    def on_forward_retry(
+        self, mi, handle, ult, attempt: int, delay: float, target: str
+    ) -> None:
+        if self.stage < Stage.STAGE2 or self.trace is None:
+            return
+        # The context still holds the failed attempt's request id (the
+        # next attempt mints a fresh one in on_forward), so the backoff
+        # is attributed to the attempt that failed.
+        ctx = self._ctx(ult, mi)
+        self.trace.record_retry(
+            mi.sim.now,
+            ctx["request_id"],
+            handle.rpc_name if handle is not None else "?",
+            attempt,
+            delay,
+            target,
+            "retry",
         )
 
     # -- target hooks ---------------------------------------------------------------
@@ -296,6 +334,11 @@ class SymbiosysInstrumentation(Instrumentation):
             mi.stats.memory_bytes,
             t4,
             t5 - t4,
+            # t_arrival: when the request reached the target endpoint CQ
+            # (before progress picked it up); the internal-RDMA time is
+            # carved out of [t_arrival, t4] by the critical-path engine.
+            handle.marks.get("t_arrival", t4),
+            handle.pvar_get_or("internal_rdma_transfer_time", 0.0),
         )
 
     def on_respond(self, mi, handle, ult) -> None:
@@ -335,6 +378,7 @@ class SymbiosysInstrumentation(Instrumentation):
                 t8,
                 exec_incl,
                 exec_excl,
+                handle.pvar_get_or("bulk_transfer_time", 0.0),
             )
         else:
             header["order"] = ctx["next_order"]

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..config import Replaceable
-from ..mercury.pvar import PvarBinding, PvarClass
+from ..mercury.pvar import PvarBinding, PvarClass, PvarDef, PvarRegistry
 from .metrics import MetricsRegistry, SeriesStore
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,14 +109,20 @@ class Finding:
     process: str
     message: str
     value: float = 0.0
+    #: Dominant wait-state category near the finding, filled in by
+    #: :func:`repro.symbiosys.critical.annotate_findings` ("" until then).
+    wait_state: str = ""
 
     def as_row(self) -> dict:
-        return {
+        row = {
             "time": f"{self.time * 1e3:.6f}ms",
             "detector": self.detector,
             "process": self.process,
             "finding": self.message,
         }
+        if self.wait_state:
+            row["wait_state"] = self.wait_state
+        return row
 
 
 class AnomalyDetector:
@@ -525,6 +531,53 @@ class Monitor:
         self.registry = MetricsRegistry()
         self.store = SeriesStore(self.config.ring_capacity)
         self.sched = SchedRecorder(self.config.sched_slice_capacity)
+        #: Sampling-plan rebuilds (staleness-triggered) since start.
+        self.plan_rebuilds = 0
+        # Self-observability: the monitor's own overhead as PVARs, so
+        # the ~1.1x claim is measurable from inside a run.  Exposed
+        # through the normal PVAR session interface *and* sampled into
+        # pvar_monitor_* series every tick.
+        self.pvars = PvarRegistry()
+        P, B = PvarClass, PvarBinding
+        for d in (
+            PvarDef(
+                "monitor_samples_taken",
+                P.COUNTER,
+                B.NO_OBJECT,
+                "Sampler ticks completed by the monitor",
+                getter=lambda: self.sampler.ticks,
+            ),
+            PvarDef(
+                "monitor_plan_rebuilds",
+                P.COUNTER,
+                B.NO_OBJECT,
+                "Per-process sampling-plan rebuilds (staleness-triggered)",
+                getter=lambda: self.plan_rebuilds,
+            ),
+            PvarDef(
+                "monitor_sched_slices",
+                P.LEVEL,
+                B.NO_OBJECT,
+                "Scheduler slices held in the columnar recorder",
+                getter=lambda: len(self.sched),
+            ),
+            PvarDef(
+                "monitor_sched_slice_highwater",
+                P.HIGHWATERMARK,
+                B.NO_OBJECT,
+                "Deepest recorded fill of the scheduler-slice buffer",
+                getter=lambda: len(self.sched),
+            ),
+            PvarDef(
+                "monitor_sched_slices_dropped",
+                P.COUNTER,
+                B.NO_OBJECT,
+                "Scheduler slices dropped past the capacity cap",
+                getter=lambda: self.sched.dropped,
+            ),
+        ):
+            self.pvars.define(d)
+        self._self_rows: Optional[list] = None
         self.findings: list[Finding] = []
         #: addr -> simulated time of the last progress-loop iteration.
         self.last_progress: dict[str, float] = {}
@@ -608,6 +661,7 @@ class Monitor:
                 or plan.pool is not mi.handler_pool
             ):
                 plan = self._plans[addr] = self._build_plan(addr, mi)
+                self.plan_rebuilds += 1
             self._sample_pvars(t, plan)
             self._sample_tasking(t, mi, plan)
         if self.fabric is not None:
@@ -634,8 +688,33 @@ class Monitor:
             total = self.fabric.total_bytes
             fp[1].set_total(total)
             fp[2].append(t, total)
+        self._sample_self(t)
         for detector in self.detectors:
             self.findings.extend(detector.on_sample(t, self))
+
+    def _sample_self(self, t: float) -> None:
+        """Sample the monitor's own overhead PVARs (self-observability)."""
+        rows = self._self_rows
+        if rows is None:
+            rows = self._self_rows = []
+            labels = {"process": "__monitor__"}
+            for i in range(self.pvars.num_pvars):
+                d = self.pvars.info(i)
+                name = f"pvar_{d.name}"
+                if d.pvar_class is PvarClass.COUNTER:
+                    metric = self.registry.counter(name, d.description, labels)
+                    update = metric.set_total
+                else:
+                    metric = self.registry.gauge(name, d.description, labels)
+                    update = metric.set
+                rows.append(
+                    (self.pvars.reader(d.name), update,
+                     self.store.series(name, labels).append)
+                )
+        for read, update, append in rows:
+            value = read()
+            update(value)
+            append(t, value)
 
     def _build_plan(self, addr: str, mi: "MargoInstance") -> _ProcessPlan:
         """Resolve every name/PVAR lookup the sampler will make for

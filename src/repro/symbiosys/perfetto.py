@@ -13,8 +13,17 @@ ingests natively):
   [t1, t14] interval and the target [t5, t8] interval of every RPC as
   async spans keyed by span id -- async events may overlap freely, which
   pipelined RPCs do.
+* **Flow events** linking each client forward span (t1) to its server
+  handler span (t5), so request causality renders as arrows instead of
+  disconnected tracks.
 * **Fault instant events** from the fault injector, overlaid on a
   dedicated pseudo-process so latency spikes line up with their cause.
+* **Critical-path lane** (optional): pass a
+  :class:`~repro.symbiosys.critical.CriticalReport` and every decomposed
+  request renders its wait-state segments as async spans on a dedicated
+  pseudo-process.  The lane lives on the *corrected* reference timeline
+  (integer-picosecond boundaries), so segment sums match the breakdown
+  exactly; other tracks use raw simulated time.
 
 Processes map to trace ``pid`` s (sorted order), execution streams to
 ``tid`` s.  All identifiers are run-scoped and deterministic: same-seed
@@ -48,13 +57,15 @@ def to_chrome_trace(
     monitor: Optional["Monitor"] = None,
     collector: Optional["SymbiosysCollector"] = None,
     fault_events: Iterable[tuple] = (),
+    critical=None,
 ) -> dict:
     """Build the trace-event dict (``{"traceEvents": [...], ...}``).
 
     Any combination of sources may be given; each contributes its own
     event families.  ``fault_events`` takes the injector's event-trace
-    tuples (``(time, kind, *detail)``; see
-    ``Cluster.fault_events()``).
+    tuples (``(time, kind, *detail)``; see ``Cluster.fault_events()``);
+    ``critical`` takes a :class:`~repro.symbiosys.critical.CriticalReport`
+    and adds the per-request critical-path lane.
     """
     sched_slices = monitor.sched.slices if monitor is not None else []
     trace_events: list[TraceEvent] = (
@@ -141,6 +152,19 @@ def to_chrome_trace(
             events.append({**common, "ph": "e", "ts": _us(t14.true_ts)})
         t5 = kinds.get(EventKind.TARGET_ULT_START)
         t8 = kinds.get(EventKind.TARGET_RESPOND)
+        if t1 is not None and t5 is not None:
+            # Flow arrow: client forward (t1) -> server handler (t5).
+            fcommon = {
+                "name": t1.rpc_name, "cat": "rpc_flow", "id": f"f{span_id}"
+            }
+            events.append({
+                **fcommon, "ph": "s", "pid": pid_of[t1.process],
+                "tid": _META_TID, "ts": _us(t1.true_ts),
+            })
+            events.append({
+                **fcommon, "ph": "f", "bp": "e", "pid": pid_of[t5.process],
+                "tid": _META_TID, "ts": _us(t5.true_ts),
+            })
         if t5 is not None and t8 is not None:
             common = {
                 "name": f"{t5.rpc_name} [target]", "cat": "rpc",
@@ -152,6 +176,34 @@ def to_chrome_trace(
                 "args": {"request_id": t5.request_id, "span_id": span_id},
             })
             events.append({**common, "ph": "e", "ts": _us(t8.true_ts)})
+
+    # -- critical-path lane ------------------------------------------------
+    if critical is not None:
+        crit_pid = len(processes) + 2
+        events.append({
+            "ph": "M", "name": "process_name", "pid": crit_pid,
+            "tid": _META_TID, "args": {"name": "critical path"},
+        })
+        for bd in critical.breakdowns:
+            for j, (category, seg_start, dur) in enumerate(bd.segments):
+                common = {
+                    "name": category, "cat": "critical", "pid": crit_pid,
+                    "tid": _META_TID, "id": f"cp{bd.span_id}.{j}",
+                }
+                events.append({
+                    **common, "ph": "b",
+                    "ts": round(seg_start / 1e6, 6),
+                    "args": {
+                        "request_id": bd.request_id,
+                        "rpc": bd.rpc_name,
+                        "span_id": bd.span_id,
+                        "duration_ps": dur,
+                    },
+                })
+                events.append({
+                    **common, "ph": "e",
+                    "ts": round((seg_start + dur) / 1e6, 6),
+                })
 
     # -- fault instant events ----------------------------------------------
     for fe in fault_events:

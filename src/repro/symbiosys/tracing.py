@@ -33,6 +33,7 @@ from typing import Any, Iterator, Optional
 __all__ = [
     "EventKind",
     "FaultAnnotation",
+    "RetryRecord",
     "SpanIdAllocator",
     "TraceBuffer",
     "TraceEvent",
@@ -81,9 +82,15 @@ _KIND_CODE = {kind: code for code, kind in enumerate(_KINDS)}
 #: exactly these float-valued keys, so they live in fixed data columns.
 TRACE_DATA_KEYS = (
     (),  # ORIGIN_FORWARD
-    ("t1", "origin_execution_time"),  # ORIGIN_COMPLETE
-    ("t4", "target_handler_time"),  # TARGET_ULT_START
-    ("t8", "target_execution_time", "target_execution_time_exclusive"),
+    ("t1", "origin_execution_time", "t11"),  # ORIGIN_COMPLETE
+    # TARGET_ULT_START
+    ("t4", "target_handler_time", "t_arrival", "internal_rdma_transfer_time"),
+    (
+        "t8",
+        "target_execution_time",
+        "target_execution_time_exclusive",
+        "bulk_transfer_time",
+    ),  # TARGET_RESPOND
 )
 
 #: The NO_OBJECT PVARs fused into origin trace records at t14, in record
@@ -120,7 +127,7 @@ _Q_SS_MEM = 10
 _Q_PVROW = 11  # row into the pvar side table, -1 if no pvars
 
 # Float-column record layout.
-_DSTRIDE = 6
+_DSTRIDE = 7
 _D_LOCAL = 0
 _D_TRUE = 1
 _D_SS_CPU = 2
@@ -175,6 +182,33 @@ class FaultAnnotation:
         return f"fault:{self.kind} {detail_s}".rstrip()
 
 
+@dataclass(frozen=True)
+class RetryRecord:
+    """One retry/timeout episode on a forwarding client.
+
+    Recorded by the instrumentation's ``on_forward_retry`` /
+    ``on_forward_timeout`` hooks.  ``request_id`` is the id of the
+    *failed attempt* (each top-level forward attempt mints a fresh one),
+    so retry backoff shows up as aggregate/per-operation cost in the
+    critical-path breakdown rather than inside any complete request's
+    timeline.
+    """
+
+    process: str
+    time: float
+    request_id: str
+    rpc_name: str
+    #: 1-based attempt number for retries; 0 for bare timeouts.
+    attempt: int
+    #: Backoff delay about to be slept before the next attempt (retries
+    #: only; 0.0 for timeouts).
+    delay: float
+    #: Next target address for retries, original target for timeouts.
+    target: str
+    #: ``"retry"`` or ``"timeout"``.
+    kind: str
+
+
 class TraceBuffer:
     """Per-process accumulation of trace events and fault annotations.
 
@@ -195,6 +229,8 @@ class TraceBuffer:
         self.process = process
         #: Injected faults that touched this process, in firing order.
         self.annotations: list[FaultAnnotation] = []
+        #: Retry/timeout episodes on this process, in firing order.
+        self.retries: list[RetryRecord] = []
         self._n = 0
         self._kind = array("b")
         self._callpath = array("Q")
@@ -231,11 +267,12 @@ class TraceBuffer:
         d0: float = 0.0,
         d1: float = 0.0,
         d2: float = 0.0,
+        d3: float = 0.0,
         pvars: Optional[tuple] = None,
     ) -> None:
         """Record one event as flat scalars -- no dataclass, no dicts.
 
-        ``d0..d2`` are the ``data`` values in ``TRACE_DATA_KEYS[kind]``
+        ``d0..d3`` are the ``data`` values in ``TRACE_DATA_KEYS[kind]``
         order; ``pvars`` is the 9-tuple of t14 samples
         (``TRACE_PVAR_INT_KEYS`` then ``TRACE_PVAR_FLOAT_KEYS`` order)
         or ``None``.
@@ -274,7 +311,7 @@ class TraceBuffer:
                 pvrow,
             )
         )
-        self._d.extend((local_ts, true_ts, cpu_util, d0, d1, d2))
+        self._d.extend((local_ts, true_ts, cpu_util, d0, d1, d2, d3))
         self._n += 1
 
     def append(self, event: TraceEvent) -> None:
@@ -310,6 +347,30 @@ class TraceBuffer:
         """Record one injected fault (duck-called by the injector, so
         the faults layer needs no import of this module)."""
         self.annotations.append(FaultAnnotation(time, kind, tuple(detail)))
+
+    def record_retry(
+        self,
+        time: float,
+        request_id: str,
+        rpc_name: str,
+        attempt: int,
+        delay: float,
+        target: str,
+        kind: str,
+    ) -> None:
+        """Record one retry/timeout episode (instrumentation hook path)."""
+        self.retries.append(
+            RetryRecord(
+                process=self.process,
+                time=time,
+                request_id=request_id,
+                rpc_name=rpc_name,
+                attempt=attempt,
+                delay=delay,
+                target=target,
+                kind=kind,
+            )
+        )
 
     # -- reading (materialization) ---------------------------------------------
 

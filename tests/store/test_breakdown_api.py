@@ -1,0 +1,168 @@
+"""Critical-path queries over archived runs: byte-determinism of the
+``breakdown``/``critical_path``/``blame`` replies, the stored-vs-
+recomputed equivalence, and the v1 -> v2 schema migration."""
+
+import sqlite3
+
+from repro.analysis import AnalysisService, Query, encode_reply
+from repro.store import PerfStore
+from repro.store.archive import ArchivedRun
+from repro.symbiosys.critical import WAIT_CATEGORIES, analyze_run
+
+from ..conftest import make_echo_cluster, run_client_calls
+from .conftest import record_echo_run
+
+_OPS = (
+    ("breakdown", {"run": "1"}),
+    ("critical_path", {"run": "1", "top": 5}),
+    ("blame", {"run": "1"}),
+)
+
+
+def query_bytes(db_path, ops=_OPS):
+    service = AnalysisService(str(db_path))
+    try:
+        out = {}
+        for op, params in ops:
+            reply = service.execute(Query(op, dict(params)))
+            assert reply.ok, f"{op}: {reply.error}"
+            out[op] = encode_reply(reply)
+        return out
+    finally:
+        service.store.close()
+
+
+class TestByteDeterminism:
+    def test_replies_identical_across_store_rebuilds(self, tmp_path):
+        """The golden acceptance check: rebuild the same-seed run into
+        two fresh stores; every critical-path reply is byte-identical."""
+        replies = []
+        for trial in range(2):
+            db = tmp_path / f"perf{trial}.db"
+            record_echo_run(db, seed=3, n_calls=10)
+            replies.append(query_bytes(db))
+        for op in replies[0]:
+            assert replies[0][op] == replies[1][op], \
+                f"{op} reply not byte-identical across rebuilds"
+
+    def test_reply_stable_across_repeat_queries(self, tmp_path):
+        db = tmp_path / "perf.db"
+        record_echo_run(db, seed=3, n_calls=10)
+        assert query_bytes(db) == query_bytes(db)
+
+
+class TestStoredVsRecomputed:
+    def test_engine_fallback_matches_stored_rows(self, tmp_path):
+        """Deleting the v2 ``breakdowns`` rows forces the ops back
+        through the engine over archived trace events; the replies must
+        not change (same engine, same inputs)."""
+        db = tmp_path / "perf.db"
+        record_echo_run(db, seed=3, n_calls=10)
+        stored = query_bytes(db)
+        conn = sqlite3.connect(str(db))
+        conn.execute("DELETE FROM breakdowns")
+        conn.commit()
+        conn.close()
+        assert query_bytes(db) == stored
+
+    def test_archived_run_feeds_the_engine(self, echo_store):
+        store, world = echo_store
+        run = ArchivedRun(store, 1)
+        report = analyze_run(run)
+        report.check_invariant()
+        rows = store.breakdown_rows(1)
+        assert len(rows) == len(report.breakdowns) > 0
+        for row, bd in zip(rows, report.breakdowns):
+            assert row["span_id"] == bd.span_id
+            assert row["total_ps"] == bd.total_ps
+            assert row["categories"] == dict(bd.categories)
+
+
+class TestSchemaV2:
+    def test_findings_carry_wait_state(self, tmp_path):
+        # Enough concurrent calls on one handler ES -- sampled fast
+        # enough to see them queued -- to trip the queue-depth detector.
+        from repro.symbiosys import Stage
+        from repro.symbiosys.monitor import MonitorConfig
+
+        db = tmp_path / "busy.db"
+        world = make_echo_cluster(
+            seed=3, stage=Stage.FULL,
+            monitoring=MonitorConfig(interval=25e-6),
+            store=str(db), run_name="busy",
+        )
+        results = run_client_calls(
+            world, [("echo", {"i": i}) for i in range(32)]
+        )
+        assert world.sim.run_until(lambda: len(results) == 32, limit=5.0)
+        world.cluster.shutdown()
+        store = PerfStore(str(db))
+        try:
+            findings = store.findings(1)
+            assert findings, \
+                "echo run under contention must produce findings"
+            assert all(
+                f["wait_state"] in WAIT_CATEGORIES for f in findings
+            )
+            archived = ArchivedRun(store, 1).findings
+            assert [f.wait_state for f in archived] == \
+                [f["wait_state"] for f in findings]
+        finally:
+            store.close()
+
+    def test_retry_records_round_trip(self, echo_store):
+        store, world = echo_store
+        live = world.cluster.collector.all_retries()
+        archived = ArchivedRun(store, 1).all_retries()
+        assert archived == live
+
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        db = str(tmp_path / "old.db")
+        conn = sqlite3.connect(db)
+        conn.executescript("""
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            INSERT INTO meta VALUES ('schema_version', '1');
+            CREATE TABLE runs (run_id INTEGER PRIMARY KEY,
+                name TEXT NOT NULL, kind TEXT NOT NULL DEFAULT 'cluster',
+                seed INTEGER, config TEXT NOT NULL DEFAULT '{}',
+                tags TEXT NOT NULL DEFAULT '{}',
+                extra TEXT NOT NULL DEFAULT '{}',
+                created TEXT NOT NULL DEFAULT '');
+            INSERT INTO runs (name) VALUES ('old');
+            CREATE TABLE findings (run_id INTEGER NOT NULL,
+                seq INTEGER NOT NULL, time REAL NOT NULL,
+                detector TEXT NOT NULL, process TEXT NOT NULL,
+                message TEXT NOT NULL, value REAL NOT NULL DEFAULT 0.0);
+            INSERT INTO findings VALUES (1, 0, 0.5, 'd', 'p', 'm', 1.0);
+        """)
+        conn.commit()
+        conn.close()
+
+        from repro.store.schema import SCHEMA_VERSION, schema_version
+
+        store = PerfStore(db)
+        try:
+            assert schema_version(store.conn) == SCHEMA_VERSION == 2
+            # Old findings read back with the backfilled empty state.
+            assert store.findings(1) == [{
+                "time": 0.5, "detector": "d", "process": "p",
+                "message": "m", "value": 1.0, "wait_state": "",
+            }]
+            # The v2 tables exist and read empty for the old run.
+            assert store.retry_records(1) == []
+            assert store.breakdown_rows(1) == []
+        finally:
+            store.close()
+
+    def test_newer_schema_refuses_to_open(self, tmp_path):
+        db = str(tmp_path / "future.db")
+        store = PerfStore(db)
+        store.conn.execute(
+            "UPDATE meta SET value = '99' WHERE key = 'schema_version'"
+        )
+        store.conn.commit()
+        store.close()
+        import pytest
+
+        with pytest.raises(RuntimeError, match="newer than supported"):
+            PerfStore(db)

@@ -38,7 +38,8 @@ def bundle(finished_world):
 class TestRegistry:
     def test_all_formats_registered(self):
         assert exporter_names() == [
-            "csv", "json", "perfetto", "profile", "prometheus", "store",
+            "critical", "csv", "json", "perfetto", "profile",
+            "prometheus", "store",
         ]
 
     def test_unknown_name_raises(self):

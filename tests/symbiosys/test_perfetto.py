@@ -12,7 +12,7 @@ from repro.symbiosys.monitor import Monitor, MonitorConfig
 from repro.symbiosys.perfetto import chrome_trace_json, to_chrome_trace
 from .conftest import drive_requests, make_instrumented_world
 
-_VALID_PH = {"X", "b", "e", "i", "M"}
+_VALID_PH = {"X", "b", "e", "i", "M", "s", "f"}
 
 FAULTS = [
     (0.5e-3, "drop", "cli", "front", "rpc_request"),
@@ -52,6 +52,12 @@ def validate_schema(doc):
             assert ev["dur"] >= 0
         if ev["ph"] == "i":
             assert ev["s"] in ("g", "p", "t")
+        if ev["ph"] in ("s", "f"):
+            # Flow events: start/finish share a cat+id pair; the finish
+            # binds to the enclosing slice ("bp": "e").
+            assert "cat" in ev and "id" in ev
+            if ev["ph"] == "f":
+                assert ev["bp"] == "e"
         if ev["ph"] in ("b", "e"):
             assert "cat" in ev and "id" in ev
             async_tracks.setdefault((ev["cat"], ev["id"]), []).append(ev)
@@ -127,6 +133,52 @@ def test_fault_instants_on_dedicated_process():
     crash = next(e for e in instants if e["name"] == "fault:crash")
     assert crash["args"]["detail"] == "back"
     assert crash["ts"] == 900.0  # 0.9 ms in microseconds
+
+
+def test_flow_events_link_forward_to_handler():
+    world = run_monitored_world(n=2)
+    doc = to_chrome_trace(monitor=world.monitor, collector=world.collector)
+    flows = [e for e in doc["traceEvents"] if e.get("cat") == "rpc_flow"]
+    assert flows, "flow arrows must link client forwards to handlers"
+    by_id = {}
+    for ev in flows:
+        by_id.setdefault(ev["id"], []).append(ev)
+    for fid, evs in by_id.items():
+        assert sorted(e["ph"] for e in evs) == ["f", "s"], fid
+        start = next(e for e in evs if e["ph"] == "s")
+        finish = next(e for e in evs if e["ph"] == "f")
+        assert finish["bp"] == "e"
+        # The arrow points forward in time and across processes.
+        assert start["ts"] <= finish["ts"]
+        assert start["pid"] != finish["pid"]
+
+
+def test_critical_lane_renders_breakdown_segments():
+    from repro.symbiosys.critical import analyze_collector
+
+    world = run_monitored_world(n=2)
+    report = analyze_collector(world.collector, world.monitor)
+    assert report.breakdowns
+    doc = to_chrome_trace(
+        monitor=world.monitor, collector=world.collector, critical=report
+    )
+    validate_schema(doc)
+    crit = [e for e in doc["traceEvents"] if e.get("cat") == "critical"]
+    assert crit
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    lane_pids = {e["pid"] for e in crit}
+    assert len(lane_pids) == 1
+    assert meta[lane_pids.pop()] == "critical path"
+    # One async b/e pair per breakdown segment, named by category.
+    n_segments = sum(len(bd.segments) for bd in report.breakdowns)
+    assert len(crit) == 2 * n_segments
+    from repro.symbiosys.critical import CATEGORIES
+
+    assert {e["name"] for e in crit} <= set(CATEGORIES)
 
 
 def test_empty_sources_yield_empty_but_valid_trace():
