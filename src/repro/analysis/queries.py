@@ -30,6 +30,11 @@ answering one cross-run question over a
     resource while each victim operation waited, summed overlap.
 ``bench_history``
     The dated bench trajectory of one suite out of the store.
+``shards``
+    Per-shard breakdown of one sharded run: final per-process shard
+    counts, op/redirect/migration/byte totals from the ``shard_*``
+    PVAR series, and the hottest shards from the monitor's per-shard
+    ``shard_ops`` series.
 
 The three critical-path ops prefer the ``breakdowns`` table written at
 record time and fall back to re-running the engine over the archived
@@ -477,6 +482,87 @@ def q_blame(store, params: dict) -> dict:
     return {"run_id": run, "n_requests": len(rows), "matrix": matrix}
 
 
+def _parse_labels(text: str) -> dict:
+    """Invert :func:`repro.store.writer.labels_to_text`."""
+    if not text:
+        return {}
+    return dict(pair.split("=", 1) for pair in text.split("|"))
+
+
+#: The per-process shard PVAR series a sharded run records, mapped to
+#: their row field names (final sample value wins; counters are
+#: cumulative, so last == total).
+_SHARD_PVARS = {
+    "pvar_shard_num_owned": "shards_owned",
+    "pvar_ssg_view_epoch": "view_epoch",
+    "pvar_shard_ops_total": "ops",
+    "pvar_shard_redirects_total": "redirects",
+    "pvar_shard_migrations_in": "migrations_in",
+    "pvar_shard_migrations_out": "migrations_out",
+    "pvar_shard_migration_bytes_in": "bytes_in",
+    "pvar_shard_migration_bytes_out": "bytes_out",
+}
+
+
+def q_shards(store, params: dict) -> dict:
+    """Per-shard breakdown of one sharded run.
+
+    Reads the shard PVAR series (``pvar_shard_*``, ``pvar_ssg_*``) the
+    monitor sampled per process and the per-shard ``shard_ops`` series
+    the hot-spot detector records, and reduces both to final values:
+    one row per server process, one row per (shard, process) pair, and
+    run-wide totals.  ``top`` caps the per-shard rows to the hottest N.
+    """
+    run = store.run(params["run"])
+    run_id = run["run_id"]
+    per_process: dict[str, dict] = {}
+    shard_rows = []
+    for name, labels_text in store.series_keys(run_id):
+        labels = _parse_labels(labels_text)
+        if name in _SHARD_PVARS:
+            samples = store.samples(run_id, name, labels_text)
+            if not samples:
+                continue
+            row = per_process.setdefault(labels.get("process", ""), {})
+            row[_SHARD_PVARS[name]] = round9(samples[-1][1])
+        elif name == "shard_ops":
+            samples = store.samples(run_id, name, labels_text)
+            if not samples:
+                continue
+            shard_rows.append(
+                {
+                    "shard": int(labels["shard"]),
+                    "process": labels.get("process", ""),
+                    "ops": round9(samples[-1][1]),
+                }
+            )
+    processes = [
+        dict(sorted(row.items()), process=addr)
+        for addr, row in sorted(per_process.items())
+    ]
+    shard_rows.sort(key=lambda r: (-r["ops"], r["shard"], r["process"]))
+    top = params.get("top")
+    if top is not None:
+        shard_rows = shard_rows[: int(top)]
+    totals = {
+        "ops": round9(sum(r.get("ops", 0.0) for r in processes)),
+        "redirects": round9(sum(r.get("redirects", 0.0) for r in processes)),
+        "migrations": round9(
+            sum(r.get("migrations_in", 0.0) for r in processes)
+        ),
+        "migrated_bytes": round9(
+            sum(r.get("bytes_in", 0.0) for r in processes)
+        ),
+    }
+    return {
+        "run_id": run_id,
+        "name": run["name"],
+        "processes": processes,
+        "shards": shard_rows,
+        "totals": totals,
+    }
+
+
 def q_bench_history(store, params: dict) -> dict:
     suite = params["suite"]
     return {"suite": suite, "history": store.bench_history(suite)}
@@ -493,6 +579,7 @@ QUERY_OPS: dict[str, Callable] = {
     "critical_path": q_critical_path,
     "blame": q_blame,
     "bench_history": q_bench_history,
+    "shards": q_shards,
 }
 
 

@@ -156,6 +156,14 @@ class Cluster:
         #: (0 after a clean teardown).
         self.leaked_events = 0
         self._shutdown_done = False
+        self._shutdown_hooks: list[Callable[[], None]] = []
+
+    def add_shutdown_hook(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the start of :meth:`shutdown`, before the
+        event-queue drain.  Services with self-rescheduling sim-clock
+        loops (e.g. the sharded service's membership heartbeat) register
+        their ``stop`` here so the drain can terminate."""
+        self._shutdown_hooks.append(callback)
 
     # -- building -----------------------------------------------------------
 
@@ -259,6 +267,8 @@ class Cluster:
         if self._shutdown_done:
             return
         self._shutdown_done = True
+        for hook in self._shutdown_hooks:
+            hook()
         if self.monitor is not None:
             # The sampler must stop before the drain -- a self-
             # rescheduling tick would keep the event queue alive forever.

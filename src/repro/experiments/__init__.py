@@ -26,6 +26,14 @@ from .overhead import (
 )
 from .presets import FAST_TEST, THETA_KNL, Preset
 from .reporting import ascii_table, format_seconds, series_histogram
+from .scale import (
+    ScaleCell,
+    ScaleCellResult,
+    ScaleExperimentResult,
+    run_scale_cell,
+    run_scale_experiment,
+    smoke_cell,
+)
 from .sonata import SonataExperimentResult, run_sonata_experiment
 
 __all__ = [
@@ -39,6 +47,9 @@ __all__ = [
     "OverheadStudyResult",
     "PUT_PACKED",
     "Preset",
+    "ScaleCell",
+    "ScaleCellResult",
+    "ScaleExperimentResult",
     "SonataExperimentResult",
     "TABLE_IV",
     "THETA_KNL",
@@ -52,7 +63,10 @@ __all__ = [
     "run_hepnos_experiment",
     "run_mobject_experiment",
     "run_overhead_study",
+    "run_scale_cell",
+    "run_scale_experiment",
     "run_sonata_experiment",
+    "smoke_cell",
     "series_histogram",
     "table_iv_rows",
     "time_analysis_scripts",

@@ -28,6 +28,7 @@ from .monitor import run_monitor_experiment
 from .overhead import run_overhead_study, time_analysis_scripts
 from .reporting import ascii_table, format_seconds, series_histogram
 from .runner import run_fault_campaigns
+from .scale import run_scale_experiment, smoke_cell
 from .sonata import run_sonata_experiment
 
 
@@ -197,6 +198,26 @@ def _breakdown(args) -> None:
                          "wait more on the completion queue")
 
 
+def _scale(args) -> None:
+    # Sharded services at cluster scale: consistent-hash placement,
+    # membership churn, and monitor-triggered migration, swept over the
+    # mubench-style topology x scale x load matrix (--smoke: one
+    # 32-server cell).  check_invariants() is the acceptance gate: the
+    # injected death must yield a view change plus completed failover,
+    # the hot shard a rebalance, and the churn audit must conserve data.
+    cells = [smoke_cell()] if args.smoke else None
+    result = run_scale_experiment(
+        seed=args.seed, cells=cells, store=args.store, out_dir=args.out
+    )
+    print("Sharded services at cluster scale")
+    print(result.report())
+    if args.out:
+        print(f"artifacts written to {args.out}/")
+    if args.store:
+        print(f"[runs recorded into {args.store}]", file=sys.stderr)
+    result.check_invariants()
+
+
 def _table4(args) -> None:
     print("Table IV: HEPnOS service configurations")
     print(ascii_table(table_iv_rows()))
@@ -224,6 +245,7 @@ TARGETS = {
     "faults": _faults,
     "monitor": _monitor,
     "breakdown": _breakdown,
+    "scale": _scale,
 }
 
 

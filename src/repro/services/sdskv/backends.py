@@ -106,6 +106,11 @@ class KVDatabase:
             if self._mutex is not None:
                 self._mutex.unlock()
 
+    def peek(self, key: str) -> Optional[object]:
+        """Zero-cost out-of-band read for offline audits and tests —
+        never use on a simulated code path (no backend cost charged)."""
+        return self._data.get(key)
+
     def get(self, key: str) -> Generator:
         nbytes = estimate_size(key)
         value = self._data.get(key)

@@ -1,0 +1,122 @@
+"""Conservation audits for churn campaigns.
+
+After a run with membership churn and migrations quiesces, the audit
+walks every key the clients believe was acknowledged and checks it is
+still readable on exactly the process that owns its shard — except keys
+whose shard was *lost* to a failover (dead node, data gone), which are
+accounted explicitly rather than silently forgiven.  It also compares
+stored bytes against the bytes implied by the surviving acknowledged
+keys: migrations must move bytes, never mint or destroy them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mercury import estimate_size
+from .placement import shard_of
+
+__all__ = ["ChurnReport", "run_churn_audit"]
+
+
+@dataclass
+class ChurnReport:
+    """Outcome of one churn audit."""
+
+    issued: int = 0
+    acked: int = 0
+    failed: int = 0
+    #: Acked keys living in shards lost to a failover (allowed losses).
+    lost_allowed: int = 0
+    #: Acked keys in surviving shards that are gone (NEVER allowed).
+    missing: list[str] = field(default_factory=list)
+    #: Acked keys whose stored value differs (NEVER allowed).
+    corrupted: list[str] = field(default_factory=list)
+    bytes_expected: int = 0
+    bytes_found: int = 0
+    migrations: int = 0
+    migrated_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No silent drops, and bytes conserved.
+
+        Every issued request is accounted (acked, failed, or in a lost
+        shard); every acked surviving key is present and intact; stored
+        bytes equal the expected bytes when every request was acked
+        (with failures, a server may legitimately hold a key whose ack
+        was lost in flight, so stored bytes may only exceed expected).
+        """
+        if self.missing or self.corrupted:
+            return False
+        if self.issued != self.acked + self.failed:
+            return False
+        if self.bytes_found < self.bytes_expected:
+            return False
+        if self.failed == 0 and self.bytes_found != self.bytes_expected:
+            return False
+        return True
+
+    def as_dict(self) -> dict:
+        return {
+            "issued": self.issued,
+            "acked": self.acked,
+            "failed": self.failed,
+            "lost_allowed": self.lost_allowed,
+            "missing": len(self.missing),
+            "corrupted": len(self.corrupted),
+            "bytes_expected": self.bytes_expected,
+            "bytes_found": self.bytes_found,
+            "migrations": self.migrations,
+            "migrated_bytes": self.migrated_bytes,
+            "ok": self.ok,
+        }
+
+
+def run_churn_audit(service, expected: dict, acked: set) -> ChurnReport:
+    """Audit a quiesced sharded service.
+
+    ``expected`` maps every key the workload *issued* to the value it
+    wrote; ``acked`` is the subset whose put was acknowledged.  Keys in
+    shards recorded as lost by the manager are exempt from presence
+    checks but still counted (``lost_allowed``).
+    """
+    manager = service.manager
+    report = ChurnReport(
+        issued=len(expected),
+        acked=len(acked),
+        failed=len(expected) - len(acked),
+        migrations=sum(1 for r in manager.records if r.ok),
+        migrated_bytes=sum(r.nbytes for r in manager.records if r.ok),
+    )
+    lost = manager.lost_shards
+    for key in sorted(expected):
+        if key not in acked:
+            continue
+        value = expected[key]
+        shard = shard_of(key, service.n_shards)
+        owner = service.shard_owner(shard)
+        got = (
+            service.providers[owner].shards[shard].peek(key)
+            if owner is not None
+            else None
+        )
+        if got is None:
+            # A key may vanish only if its shard's data died in a
+            # failover *and* the key was written before that loss; a key
+            # acked into the replacement shard afterwards is durable and
+            # judged like any other.
+            if shard in lost:
+                report.lost_allowed += 1
+            else:
+                report.missing.append(key)
+        elif got != value:
+            report.corrupted.append(key)
+        else:
+            report.bytes_expected += estimate_size(key) + estimate_size(value)
+    report.bytes_found = sum(
+        db.bytes_stored
+        for addr in sorted(service.providers)
+        for _, db in sorted(service.providers[addr].shards.items())
+    )
+    return report

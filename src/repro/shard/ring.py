@@ -1,0 +1,104 @@
+"""Seeded, virtual-node-weighted consistent-hash ring.
+
+Tokens come from sha256 (first 8 bytes, little-endian) so placement is
+identical across processes and interpreter runs — Python's builtin
+``hash()`` is salted per process and must never leak into placement.
+Each node contributes ``vnodes`` points on the ring; a key is owned by
+the first node token at or clockwise of the key's token.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+__all__ = ["HashRing", "h64"]
+
+
+def h64(text: str) -> int:
+    """Stable 64-bit hash of ``text`` (sha256 prefix, little-endian)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "little")
+
+
+class HashRing:
+    """Consistent-hash ring over node addresses.
+
+    ``seed`` perturbs every token, so two rings with different seeds
+    give independent placements while a fixed seed is fully
+    deterministic.  ``weights`` scales a node's virtual-node count
+    (weight 2.0 -> twice the vnodes -> roughly twice the keyspace).
+    """
+
+    def __init__(self, seed: int = 0, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.seed = seed
+        self.vnodes = vnodes
+        self._nodes: dict[str, int] = {}  # addr -> vnode count
+        self._tokens: list[int] = []
+        self._owners: list[str] = []
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, addr: str) -> bool:
+        return addr in self._nodes
+
+    def _token(self, addr: str, vnode: int) -> int:
+        return h64(f"{addr}#{vnode}#{self.seed}")
+
+    def add_node(self, addr: str, weight: float = 1.0) -> None:
+        if addr in self._nodes:
+            raise ValueError(f"{addr!r} already on ring")
+        count = max(1, round(self.vnodes * weight))
+        self._nodes[addr] = count
+        for v in range(count):
+            token = self._token(addr, v)
+            i = bisect.bisect_left(self._tokens, token)
+            # sha256 collisions are out of scope; break ties by address
+            # so insertion order can't leak into placement.
+            while i < len(self._tokens) and self._tokens[i] == token and self._owners[i] < addr:
+                i += 1
+            self._tokens.insert(i, token)
+            self._owners.insert(i, addr)
+
+    def remove_node(self, addr: str) -> None:
+        if addr not in self._nodes:
+            raise ValueError(f"{addr!r} not on ring")
+        del self._nodes[addr]
+        keep = [(t, o) for t, o in zip(self._tokens, self._owners) if o != addr]
+        self._tokens = [t for t, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def replace(self, members: Iterable[str]) -> None:
+        """Reset the ring to exactly ``members`` (weight 1 each)."""
+        self._nodes = {}
+        self._tokens = []
+        self._owners = []
+        for addr in members:
+            self.add_node(addr)
+
+    # -- lookup ------------------------------------------------------------
+
+    def node_for(self, key: str) -> str:
+        """Owner of ``key``: first node token clockwise of the key."""
+        if not self._tokens:
+            raise LookupError("ring is empty")
+        i = bisect.bisect_right(self._tokens, h64(key))
+        if i == len(self._tokens):
+            i = 0
+        return self._owners[i]
+
+    def token_counts(self) -> dict[str, int]:
+        """Virtual-node count actually placed per node (sorted keys)."""
+        counts: dict[str, int] = {}
+        for o in self._owners:
+            counts[o] = counts.get(o, 0) + 1
+        return dict(sorted(counts.items()))

@@ -1,5 +1,6 @@
 """SSG: Scalable Service Groups (Mochi core component)."""
 
-from .group import SSGError, SSGGroup
+from .group import SSGError, SSGGroup, SSGView
+from .membership import MembershipService, ViewPropagator
 
-__all__ = ["SSGError", "SSGGroup"]
+__all__ = ["SSGError", "SSGGroup", "SSGView", "MembershipService", "ViewPropagator"]

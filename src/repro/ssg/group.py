@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
-__all__ = ["SSGGroup", "SSGError"]
+__all__ = ["SSGGroup", "SSGError", "SSGView"]
 
 _group_ids = itertools.count(1)
 
@@ -26,6 +27,30 @@ class SSGError(RuntimeError):
 
 def _key_hash(key: str) -> int:
     return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "little")
+
+
+@dataclass(frozen=True)
+class SSGView:
+    """An immutable, epoch-numbered snapshot of a group's membership.
+
+    Views are what travels over the (simulated) fabric: the
+    authoritative group stamps each membership change with a
+    monotonically increasing epoch, and replicas only ever move
+    *forward* — ``SSGGroup.apply_view`` rejects views at or below the
+    replica's current epoch, so a view recorded before a death can
+    never resurrect the dead member when it arrives late.
+    """
+
+    name: str
+    epoch: int
+    members: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "epoch": self.epoch, "members": list(self.members)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SSGView":
+        return cls(name=d["name"], epoch=int(d["epoch"]), members=tuple(d["members"]))
 
 
 class SSGGroup:
@@ -39,6 +64,7 @@ class SSGGroup:
     def __init__(self, name: str, members: Iterable[str] = ()):
         self.name = name
         self.group_id = next(_group_ids)
+        self.epoch = 0
         self._members: list[str] = []
         self._observers: list[Callable[[str, str, int], None]] = []
         for addr in members:
@@ -63,6 +89,7 @@ class SSGGroup:
             raise SSGError(f"{addr!r} is already a member of {self.name!r}")
         self._members.append(addr)
         rank = len(self._members) - 1
+        self.epoch += 1
         self._notify("join", addr, rank)
         return rank
 
@@ -73,7 +100,43 @@ class SSGGroup:
         except ValueError:
             raise SSGError(f"{addr!r} is not a member of {self.name!r}") from None
         self._members.pop(rank)
+        self.epoch += 1
         self._notify("leave", addr, rank)
+
+    # -- views -------------------------------------------------------------
+
+    def view(self) -> SSGView:
+        """Immutable snapshot of the current membership at this epoch."""
+        return SSGView(name=self.name, epoch=self.epoch, members=tuple(self._members))
+
+    def apply_view(self, view: SSGView) -> bool:
+        """Fast-forward this replica to ``view``.
+
+        Returns ``True`` if the view was applied, ``False`` if it was
+        stale (``view.epoch <= self.epoch``) and dropped.  The stale
+        guard is what keeps a member that died during an in-flight
+        propagation from being resurrected by the late arrival.
+        Observers see synthetic leave/join deltas for the difference.
+        """
+        if view.name != self.name:
+            raise SSGError(
+                f"view for group {view.name!r} applied to group {self.name!r}"
+            )
+        if view.epoch <= self.epoch:
+            return False
+        old = self._members
+        new = list(view.members)
+        new_set = set(new)
+        self._members = new
+        self.epoch = view.epoch
+        for rank, addr in enumerate(old):
+            if addr not in new_set:
+                self._notify("leave", addr, rank)
+        old_set = set(old)
+        for rank, addr in enumerate(new):
+            if addr not in old_set:
+                self._notify("join", addr, rank)
+        return True
 
     # -- lookups ---------------------------------------------------------------
 

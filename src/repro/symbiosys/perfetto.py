@@ -58,6 +58,7 @@ def to_chrome_trace(
     collector: Optional["SymbiosysCollector"] = None,
     fault_events: Iterable[tuple] = (),
     critical=None,
+    migrations: Iterable = (),
 ) -> dict:
     """Build the trace-event dict (``{"traceEvents": [...], ...}``).
 
@@ -65,7 +66,9 @@ def to_chrome_trace(
     event families.  ``fault_events`` takes the injector's event-trace
     tuples (``(time, kind, *detail)``; see ``Cluster.fault_events()``);
     ``critical`` takes a :class:`~repro.symbiosys.critical.CriticalReport`
-    and adds the per-request critical-path lane.
+    and adds the per-request critical-path lane; ``migrations`` takes
+    :class:`~repro.shard.migration.MigrationRecord` s and renders each
+    shard move as an async span on a dedicated lane.
     """
     sched_slices = monitor.sched.slices if monitor is not None else []
     trace_events: list[TraceEvent] = (
@@ -204,6 +207,36 @@ def to_chrome_trace(
                     **common, "ph": "e",
                     "ts": round((seg_start + dur) / 1e6, 6),
                 })
+
+    # -- shard-migration lane ----------------------------------------------
+    migrations = list(migrations)
+    if migrations:
+        mig_pid = len(processes) + 3
+        events.append({
+            "ph": "M", "name": "process_name", "pid": mig_pid,
+            "tid": _META_TID, "args": {"name": "shard migrations"},
+        })
+        for i, rec in enumerate(migrations):
+            end = rec.end if rec.end is not None else rec.start
+            common = {
+                "name": f"{rec.kind} shard {rec.shard}",
+                "cat": "migration", "pid": mig_pid,
+                "tid": _META_TID, "id": f"mig{i}",
+            }
+            events.append({
+                **common, "ph": "b", "ts": _us(rec.start),
+                "args": {
+                    "shard": rec.shard,
+                    "src": rec.src,
+                    "dst": rec.dst,
+                    "kind": rec.kind,
+                    "epoch": rec.epoch,
+                    "n_keys": rec.n_keys,
+                    "nbytes": rec.nbytes,
+                    "ok": rec.ok,
+                },
+            })
+            events.append({**common, "ph": "e", "ts": _us(end)})
 
     # -- fault instant events ----------------------------------------------
     for fe in fault_events:

@@ -1,0 +1,273 @@
+"""Membership-churn fuzz campaigns over the sharded service.
+
+The generic fuzzer (:mod:`repro.validate.fuzz`) checks export-level
+determinism and runtime invariants; this extension aims randomized
+**kill/revive sequences** at a :class:`~repro.shard.ShardedKVService`
+fleet and checks the two properties the sharding layer promises:
+
+* **No silent drops** — every request a client issued is accounted:
+  acknowledged (and then readable on the shard's current owner),
+  failed loudly, or located in a shard whose data was lost to a
+  failover (an explicit, counted loss — never an unnoticed one).
+* **Byte conservation** — migrations move bytes, never mint or destroy
+  them: after quiescing, the bytes stored across the fleet equal the
+  bytes implied by the surviving acknowledged keys.
+
+Both are audited by :func:`~repro.shard.run_churn_audit` after the
+cluster quiesces.  Every configuration runs **twice** and the audit
+dicts plus membership-event logs are compared, so churn handling is
+also covered by the determinism cross-check.  Failing configs serialize
+to the same JSON repro shape the generic fuzzer uses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..faults import FaultPlan
+from ..faults.plan import CrashFault, RestartFault
+from .fuzz import _quantize
+from .workloads import WORKLOAD_SERVERS, WorkloadHang
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnOutcome",
+    "ChurnSweepResult",
+    "check_churn_config",
+    "churn_sweep",
+    "random_churn_plan",
+    "run_churn_campaign",
+]
+
+_SERVERS = WORKLOAD_SERVERS["sharded"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """One churn campaign: a kill/revive plan over the sharded fleet."""
+
+    seed: int
+    n_clients: int = 2
+    keys_per_client: int = 15
+    plan: Optional[FaultPlan] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_clients": self.n_clients,
+            "keys_per_client": self.keys_per_client,
+            "plan": None if self.plan is None else self.plan.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnConfig":
+        plan = data.get("plan")
+        return cls(
+            seed=data["seed"],
+            n_clients=data.get("n_clients", 2),
+            keys_per_client=data.get("keys_per_client", 15),
+            plan=None if plan is None else FaultPlan.from_dict(plan),
+        )
+
+    def describe(self) -> str:
+        n_faults = 0 if self.plan is None else len(self.plan.process_faults)
+        return (
+            f"churn seed={self.seed} clients={self.n_clients} "
+            f"keys={self.keys_per_client} faults={n_faults}"
+        )
+
+
+def random_churn_plan(
+    rng: np.random.Generator, max_faults: int = 3
+) -> FaultPlan:
+    """Draw a kill/revive sequence over distinct servers.
+
+    Between one and ``max_faults`` process faults, each a permanent
+    crash or a bounce (crash + revive), at quantized times inside the
+    workload window.  At least one live server always remains."""
+    n = int(rng.integers(1, max_faults + 1))
+    victims = rng.choice(
+        list(_SERVERS), size=min(n, len(_SERVERS) - 1), replace=False
+    )
+    faults = []
+    for victim in sorted(str(v) for v in victims):
+        at = _quantize(0.3e-3 + 1.0e-3 * rng.random())
+        if rng.random() < 0.5:
+            faults.append(CrashFault(addr=victim, at=at))
+        else:
+            faults.append(
+                RestartFault(
+                    addr=victim,
+                    at=at,
+                    downtime=_quantize(0.2e-3 + 0.5e-3 * rng.random()),
+                    warmup=0.0,
+                )
+            )
+    return FaultPlan(name="churn-fuzz", process_faults=faults)
+
+
+@dataclass
+class ChurnOutcome:
+    """One campaign run: the audit plus the determinism fingerprint."""
+
+    audit: dict
+    membership_events: list[tuple] = field(default_factory=list)
+    epoch: int = 0
+    migrations: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Canonical serialization the double-run cross-check compares."""
+        return json.dumps(
+            {
+                "audit": self.audit,
+                "events": [list(e) for e in self.membership_events],
+                "epoch": self.epoch,
+                "migrations": self.migrations,
+            },
+            sort_keys=True,
+        )
+
+
+def run_churn_campaign(
+    config: ChurnConfig, *, time_limit: float = 5.0
+) -> ChurnOutcome:
+    """Run one churn campaign end to end and audit it.
+
+    Clients write a pre-churn wave, sleep across the fault window, then
+    write a post-churn wave; after the workload and a quiesce tail the
+    conservation audit runs over the fleet.
+    """
+    from ..cluster import Cluster
+    from ..margo import MargoError
+    from ..shard import ShardedKVService, run_churn_audit
+    from ..symbiosys import Stage
+    from .workloads import _default_retry
+
+    with Cluster(
+        seed=config.seed,
+        stage=Stage.FULL,
+        fault_plan=config.plan,
+        retry=_default_retry(),
+    ) as cluster:
+        service = ShardedKVService.deploy(cluster, len(_SERVERS))
+        expected: dict[str, str] = {}
+        acked: set[str] = set()
+        pending = {"n": config.n_clients}
+        done = cluster.sim.event("churn-done")
+
+        def body(c, router):
+            def tracked_put(key, value):
+                expected[key] = value
+                try:
+                    yield from router.put(key, value)
+                    acked.add(key)
+                except (MargoError, LookupError):
+                    pass
+
+            for i in range(config.keys_per_client):
+                yield from tracked_put(f"c{c}k{i}", f"v{c}.{i}" * 3)
+            yield from router.mi.rt.sleep(
+                max(1e-9, 2.0e-3 - cluster.sim.now)
+            )
+            for i in range(config.keys_per_client):
+                yield from tracked_put(f"c{c}p{i}", f"w{c}.{i}" * 3)
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                done.succeed(cluster.sim.now)
+
+        for c in range(config.n_clients):
+            mi = cluster.process(f"churn-cli{c}", f"nodeC{c}")
+            mi.client_ult(body(c, service.make_router(mi)), name=f"load{c}")
+        if not cluster.run_until_event(done, limit=time_limit):
+            cluster.shutdown()
+            raise WorkloadHang(
+                f"churn campaign {config.describe()} did not finish "
+                f"within {time_limit}s of simulated time"
+            )
+        cluster.run(until=cluster.sim.now + 2e-3)  # quiesce migrations
+
+    report = run_churn_audit(service, expected, acked)
+    manager = service.manager
+    return ChurnOutcome(
+        audit=report.as_dict(),
+        membership_events=list(service.membership.events),
+        epoch=service.group.epoch,
+        migrations=manager.summary(),
+    )
+
+
+def check_churn_config(
+    config: ChurnConfig, time_limit: float = 5.0
+) -> Optional[str]:
+    """Run ``config`` twice; return a failure description or None."""
+    outcomes = []
+    for _ in range(2):
+        try:
+            outcomes.append(run_churn_campaign(config, time_limit=time_limit))
+        except WorkloadHang as exc:
+            return f"hang: {exc}"
+    for outcome in outcomes:
+        if not outcome.audit["ok"]:
+            return f"conservation: audit failed: {outcome.audit}"
+    if outcomes[0].fingerprint() != outcomes[1].fingerprint():
+        return (
+            "nondeterminism: same-seed churn campaigns disagree "
+            "(audit/events/migrations fingerprints differ)"
+        )
+    return None
+
+
+@dataclass
+class ChurnSweepResult:
+    configs_run: int = 0
+    failures: list[tuple] = field(default_factory=list)  # (config, detail)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def churn_sweep(
+    *,
+    seeds: range | list[int] = range(4),
+    fault_fraction: float = 0.75,
+    log: Callable[[str], None] = lambda s: None,
+    stop_on_failure: bool = True,
+    repro_path: Optional[str] = None,
+) -> ChurnSweepResult:
+    """The churn campaign matrix: one config per seed, most of them
+    with a random kill/revive plan (plan-free cells keep the
+    no-fault baseline honest)."""
+    result = ChurnSweepResult()
+    for seed in seeds:
+        rng = np.random.default_rng(seed * 7_368_787 + 29)
+        plan = (
+            random_churn_plan(rng)
+            if rng.random() < fault_fraction
+            else None
+        )
+        config = ChurnConfig(seed=seed, plan=plan)
+        log(f"churn: {config.describe()}")
+        detail = check_churn_config(config)
+        result.configs_run += 1
+        if detail is None:
+            continue
+        log(f"  FAILED ({detail})")
+        result.failures.append((config, detail))
+        if repro_path is not None:
+            payload = {
+                "kind": detail.split(":", 1)[0],
+                "detail": detail,
+                "config": config.to_dict(),
+            }
+            with open(repro_path, "w", newline="\n") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+                f.write("\n")
+            log(f"  repro written to {repro_path}")
+        if stop_on_failure:
+            return result
+    return result

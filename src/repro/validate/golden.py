@@ -206,11 +206,51 @@ def _run_hepnos() -> RunArtifacts:
     return _artifacts(cluster, "hepnos", done["at"], count["ok"])
 
 
+def _run_sharded() -> RunArtifacts:
+    """A 32-node sharded fleet driven through the consistent-hash
+    router: plain SDSKV keys plus HEPnOS-style dataset/run/event keys,
+    so the sharded export surface (placement, PVARs, timeline) is
+    byte-pinned at cluster scale."""
+    from ..shard import ShardedKVService
+
+    done: dict = {}
+    count = {"ok": 0}
+    with _service_cluster() as cluster:
+        service = ShardedKVService.deploy(cluster, 32)
+        client_mi = cluster.process("shard-cli", "cnode0")
+        router = service.make_router(client_mi)
+
+        def body():
+            for i in range(24):
+                yield from router.put(f"k{i:03d}", f"v{i}")
+                count["ok"] += 1
+            for i in range(12):
+                yield from router.put_event("golden.ds", 0, i, {"e": i})
+                count["ok"] += 1
+            for i in range(24):
+                value = yield from router.get(f"k{i:03d}")
+                assert value == f"v{i}"
+                count["ok"] += 1
+            for i in range(0, 12, 3):
+                value = yield from router.get_event("golden.ds", 0, i)
+                assert value == {"e": i}
+                count["ok"] += 1
+            done["at"] = cluster.sim.now
+
+        client_mi.client_ult(body(), name="golden-sharded")
+        if not legacy_settle_until(
+            cluster.sim, lambda: "at" in done, limit=5.0
+        ):
+            raise RuntimeError("golden sharded run did not finish")
+    return _artifacts(cluster, "sharded", done["at"], count["ok"])
+
+
 _GOLDEN_RUNS = {
     "sdskv": _run_sdskv,
     "bake": _run_bake,
     "sonata": _run_sonata,
     "hepnos": _run_hepnos,
+    "sharded": _run_sharded,
 }
 
 

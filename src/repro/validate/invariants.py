@@ -205,7 +205,11 @@ class _RpcLifecycleChecker(Instrumentation):
         )
 
     def on_forward_complete(self, mi, handle, ult, t1, t14) -> None:
-        self.monitor.observe_time(t14, self.addr, handle.rpc_name)
+        # t14 is the completion-callback mark; the origin ULT resumes a
+        # scheduling quantum later, by which time concurrent clients may
+        # already have advanced the global watermark.  Feed the resume
+        # time; t14's ordering is covered by the t1/t14 check below.
+        self.monitor.observe_time(mi.sim.now, self.addr, handle.rpc_name)
         if t14 < t1:
             self.monitor.record(
                 "rpc_lifecycle",

@@ -55,6 +55,7 @@ def legacy_settle_until(sim, predicate, limit: float, step: float = 5e-3) -> boo
 WORKLOAD_SERVERS = {
     "echo": ("echo-svr",),
     "sonata": ("sonata-svr",),
+    "sharded": tuple(f"kv{i:03d}" for i in range(8)),
 }
 
 #: Presets by short name (resolved lazily; experiments imports services).
@@ -203,9 +204,47 @@ def _run_sonata(cluster: Cluster, scale: int, outcome: dict, done: dict) -> None
     client_mi.client_ult(body(), name="sonata-load")
 
 
+def _run_sharded(cluster: Cluster, scale: int, outcome: dict, done: dict) -> None:
+    """An eight-server sharded KV fleet; ``scale`` clients spray keys
+    through consistent-hash routers and read them back.  Process faults
+    aimed at any ``kv*`` server exercise membership churn, view
+    propagation, and failover migration under the fuzzer's invariant
+    and determinism cross-checks."""
+    from ..shard import ShardedKVService
+
+    service = ShardedKVService.deploy(
+        cluster, len(WORKLOAD_SERVERS["sharded"])
+    )
+    pending = {"n": scale}
+
+    for c in range(scale):
+        mi = cluster.process(f"shard-cli{c}", f"nodeC{c}")
+        router = service.make_router(mi)
+
+        def body(router=router, idx=c):
+            for i in range(12):
+                try:
+                    yield from router.put(f"c{idx}k{i}", f"v{idx}.{i}")
+                    outcome["ok"] += 1
+                except (MargoError, LookupError):
+                    outcome["failed"] += 1
+            for i in range(12):
+                try:
+                    yield from router.get(f"c{idx}k{i}")
+                    outcome["ok"] += 1
+                except (MargoError, LookupError):
+                    outcome["failed"] += 1
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                done["at"] = cluster.sim.now
+
+        mi.client_ult(body(), name=f"shard-load{c}")
+
+
 WORKLOADS = {
     "echo": _run_echo,
     "sonata": _run_sonata,
+    "sharded": _run_sharded,
 }
 
 

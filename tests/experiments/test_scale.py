@@ -1,0 +1,90 @@
+"""The cluster-scale sharded experiment: smoke cell, acceptance
+invariants, determinism, and artifact/store integration."""
+
+import json
+
+import pytest
+
+from repro.experiments.scale import (
+    default_matrix,
+    run_scale_cell,
+    smoke_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_scale_cell(smoke_cell(), seed=0)
+
+
+def test_smoke_cell_shape():
+    cell = smoke_cell()
+    assert cell.n_servers >= 32
+    assert cell.servers_per_node == 1  # flat: a >=32-*node* topology
+
+
+def test_matrix_covers_topology_scale_load():
+    cells = default_matrix()
+    assert {c.topology for c in cells} == {"flat", "packed"}
+    assert {c.n_servers for c in cells} == {32, 64}
+    assert len({c.keys_per_client for c in cells}) > 1
+
+
+def test_death_yields_view_change_and_migrations(smoke_result):
+    r = smoke_result
+    r.check_invariants()  # the acceptance gate itself
+    assert r.epoch >= 1
+    assert r.failovers >= 1 and r.rebalances >= 1
+    assert any(
+        kind == "death" and addr == r.victim
+        for (_, kind, addr, _) in r.membership_events
+    )
+    assert r.audit.ok
+    assert r.issued == r.acked + r.failed
+
+
+def test_perfetto_export_has_migration_lane(smoke_result):
+    trace = json.loads(smoke_result.perfetto_json)
+    events = trace["traceEvents"]
+    lane = [
+        e
+        for e in events
+        if e["ph"] == "M"
+        and e["args"].get("name") == "shard migrations"
+    ]
+    assert lane, "migration lane metadata missing"
+    mig_pid = lane[0]["pid"]
+    spans = [
+        e for e in events if e.get("cat") == "migration" and e["ph"] == "b"
+    ]
+    assert spans and all(e["pid"] == mig_pid for e in spans)
+    kinds = {e["args"]["kind"] for e in spans}
+    assert "failover" in kinds and "rebalance" in kinds
+    # The crash itself is on the fault lane, so cause and effect render
+    # side by side.
+    assert any(e.get("cat") == "fault" for e in events)
+
+
+def test_smoke_cell_is_deterministic(smoke_result):
+    again = run_scale_cell(smoke_cell(), seed=0)
+    assert again.perfetto_json == smoke_result.perfetto_json
+    assert again.audit.as_dict() == smoke_result.audit.as_dict()
+    assert again.makespan == smoke_result.makespan
+    assert again.membership_events == smoke_result.membership_events
+
+
+def test_store_records_shard_series(tmp_path, smoke_result):
+    from repro.analysis.queries import run_query
+    from repro.store import PerfStore
+
+    db = tmp_path / "scale.db"
+    result = run_scale_cell(smoke_cell(), seed=0, store=str(db))
+    with PerfStore(str(db)) as store:
+        out = run_query(
+            store, "shards", {"run": f"scale-{result.cell.name}-seed0"}
+        )
+    assert len(out["processes"]) == result.cell.n_servers
+    assert out["totals"]["migrations"] >= 1
+    assert out["shards"], "per-shard op rows missing"
+    hottest = out["shards"][0]
+    assert hottest["ops"] >= out["shards"][-1]["ops"]
