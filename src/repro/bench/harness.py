@@ -38,12 +38,22 @@ __all__ = [
 _CALIBRATION_N = 2_000_000
 
 
+#: Memoized spin-loop results: a machine constant, so one measurement
+#: per process suffices -- and processes forked after the first call
+#: (``map_cells`` workers, parallel-kernel LPs) inherit it
+#: copy-on-write instead of re-calibrating.
+_calibration_cache: dict = {}
+
+
 def calibrate(n: int = _CALIBRATION_N) -> float:
     """Seconds to run a fixed pure-Python accumulation loop.
 
     A proxy for single-core interpreter speed on this machine; benchmark
     medians are divided by it to get machine-normalized costs.
     """
+    cached = _calibration_cache.get(n)
+    if cached is not None:
+        return cached
     best = float("inf")
     for _ in range(3):
         acc = 0
@@ -51,6 +61,7 @@ def calibrate(n: int = _CALIBRATION_N) -> float:
         for i in range(n):
             acc += i
         best = min(best, time.perf_counter() - t0)
+    _calibration_cache[n] = best
     return best
 
 

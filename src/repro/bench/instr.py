@@ -53,7 +53,8 @@ def bench_trace_append(n_events: int) -> tuple[int, str]:
             1e-6,
             2e-6,
             3e-6,
-            pvars if kind == 1 else None,
+            4e-6,
+            pvars=pvars if kind == 1 else None,
         )
     assert len(buf) == n_events
     return n_events, "events"

@@ -1,0 +1,220 @@
+"""Sharded fleet at scale through the conservative parallel kernel.
+
+The serial ``scale`` experiment sweeps churn campaigns (crash, view
+change, migration) -- all cross-LP non-goals of the parallel kernel.
+This experiment is its static counterpart: the same 32+-server
+consistent-hash fleet and client load, partitioned across server LPs
+plus one client LP, every RPC crossing an LP boundary.  It is the
+workload behind ``python -m repro.experiments scale --workers N``, the
+CI ``parallel-smoke`` determinism gate, and the ``parallel_scale``
+macro benchmarks.
+
+The report is deterministic (no wall-clock facts); timing lives in
+:meth:`ParallelScaleResult.timing` for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net import FabricConfig
+from ..sim.parallel import LPSpec, ParallelRunResult, PartitionPlan, run_partitioned
+from ..symbiosys import Stage
+from ..symbiosys.monitor import MonitorConfig
+from ..validate.invariants import ValidationConfig
+
+__all__ = [
+    "ParallelScaleCell",
+    "ParallelScaleResult",
+    "build_parallel_scale_plan",
+    "run_parallel_scale",
+    "smoke_parallel_cell",
+]
+
+
+@dataclass(frozen=True)
+class ParallelScaleCell:
+    """One shape of the partitioned fleet."""
+
+    n_servers: int
+    server_lps: int
+    n_clients: int
+    keys_per_client: int
+
+    @property
+    def name(self) -> str:
+        return (
+            f"par-{self.n_servers}s-{self.server_lps}lp"
+            f"-{self.n_clients}c-{self.keys_per_client}k"
+        )
+
+
+def smoke_parallel_cell() -> ParallelScaleCell:
+    """The CI smoke shape: the 32-server fleet over 4 server LPs."""
+    return ParallelScaleCell(
+        n_servers=32, server_lps=4, n_clients=4, keys_per_client=25
+    )
+
+
+def _server_builder(cell: ParallelScaleCell, local_indices: list[int]):
+    def build(ctx) -> None:
+        from ..shard import ShardedKVService
+
+        for c in range(cell.n_clients):
+            ctx.register_remote(f"scli{c:02d}", f"cnode{c:02d}")
+        ShardedKVService.deploy_partition(
+            ctx, cell.n_servers, local_indices, n_handler_es=2
+        )
+
+    return build
+
+
+def _client_builder(cell: ParallelScaleCell):
+    def build(ctx) -> None:
+        from ..shard import ShardedKVService
+
+        sim = ctx.cluster.sim
+        done = sim.event("parallel-scale-done")
+        ctx.set_done(done)
+        remaining = {"n": cell.n_clients}
+        ok = {"n": 0}
+
+        for c in range(cell.n_clients):
+            mi = ctx.process(f"scli{c:02d}", f"cnode{c:02d}")
+            router = ShardedKVService.make_partition_router(
+                ctx, mi, cell.n_servers
+            )
+
+            def body(c=c, router=router):
+                for i in range(cell.keys_per_client):
+                    key = f"c{c:02d}k{i:03d}"
+                    yield from router.put(key, f"v{c}:{i}")
+                    ok["n"] += 1
+                for i in range(cell.keys_per_client):
+                    key = f"c{c:02d}k{i:03d}"
+                    value = yield from router.get(key)
+                    assert value == f"v{c}:{i}"
+                    ok["n"] += 1
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    ctx.report["rpcs_ok"] = ok["n"]
+                    done.succeed(sim.now)
+
+            mi.client_ult(body(), name=f"par-scale-{c:02d}")
+
+    return build
+
+
+def build_parallel_scale_plan(
+    cell: ParallelScaleCell, *, seed: int = 0, collect: bool = True
+) -> PartitionPlan:
+    from ..shard import ShardedKVService
+
+    parts = ShardedKVService.partition_servers(cell.n_servers, cell.server_lps)
+    lps = [
+        LPSpec(f"servers{lp}", _server_builder(cell, list(indices)))
+        for lp, indices in enumerate(parts)
+    ]
+    lps.append(LPSpec("clients", _client_builder(cell)))
+    return PartitionPlan(
+        lps=lps,
+        seed=seed,
+        fabric_config=FabricConfig(),
+        cluster_kw=dict(
+            stage=Stage.FULL,
+            monitoring=MonitorConfig(interval=50e-6),
+            validate=ValidationConfig(strict=True),
+        ),
+        collect=collect,
+        name=f"parallel_scale:{cell.name}",
+    )
+
+
+@dataclass
+class ParallelScaleResult:
+    cell: ParallelScaleCell
+    seed: int
+    workers: int
+    result: ParallelRunResult
+
+    def report(self) -> str:
+        """Deterministic cell card: kernel schedule + digests, no
+        wall-clock facts (CI diffs this across runs and workers)."""
+        lines = [
+            f"cell {self.cell.name} seed={self.seed}",
+            self.result.report(),
+            "digests:",
+        ]
+        for key, digest in sorted(self.result.digests().items()):
+            lines.append(f"  {key:<40} {digest}")
+        return "\n".join(lines)
+
+    def timing(self) -> dict[str, float]:
+        return self.result.timing()
+
+    def check_invariants(self) -> None:
+        """Acceptance gate: the workload finished, every RPC landed,
+        nothing leaked, and no boundary event was stranded."""
+        expected = 2 * self.cell.n_clients * self.cell.keys_per_client
+        problems = []
+        if not self.result.done:
+            problems.append("workload did not complete")
+        rpcs = sum(
+            r["extra"].get("rpcs_ok", 0) for r in self.result.lp_reports
+        )
+        if rpcs != expected:
+            problems.append(f"rpcs_ok {rpcs} != expected {expected}")
+        for r in self.result.lp_reports:
+            if r["violations"]:
+                problems.append(
+                    f"lp{r['lp_id']} {r['name']}: "
+                    f"{r['violations']} invariant violation(s)"
+                )
+            if r["leaked_events"]:
+                problems.append(
+                    f"lp{r['lp_id']} {r['name']}: "
+                    f"{r['leaked_events']} leaked event(s)"
+                )
+            if r["stranded_boundary"]:
+                problems.append(
+                    f"lp{r['lp_id']} {r['name']}: "
+                    f"{r['stranded_boundary']} stranded boundary event(s)"
+                )
+        if problems:
+            raise AssertionError(
+                "parallel scale invariants failed:\n  " + "\n  ".join(problems)
+            )
+
+
+def run_parallel_scale(
+    cell: Optional[ParallelScaleCell] = None,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+    verify: bool = False,
+    collect: bool = True,
+    store=None,
+) -> ParallelScaleResult:
+    """Execute one partitioned scale cell.
+
+    ``verify=True`` additionally runs the serial reference and fails
+    on any digest mismatch.  ``store`` archives the run (kernel
+    metrics + per-LP summaries) into a performance store.
+    """
+    cell = cell if cell is not None else smoke_parallel_cell()
+    plan = build_parallel_scale_plan(cell, seed=seed, collect=collect)
+    result = run_partitioned(plan, workers=workers, verify=verify)
+    scale_result = ParallelScaleResult(
+        cell=cell, seed=seed, workers=workers, result=result
+    )
+    if store is not None:
+        from ..store import record_parallel_run
+
+        record_parallel_run(
+            store,
+            result,
+            name=f"parallel-scale-{cell.name}-seed{seed}",
+            tags={"cell": cell.name, "workers": str(workers)},
+        )
+    return scale_result

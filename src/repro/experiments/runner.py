@@ -2,11 +2,25 @@
 
 Every experiment in this repository is a pure function of its seed and
 configuration, so a study decomposes into independent ``(seed, config)``
-*cells*.  :func:`map_cells` dispatches cells across a
-:mod:`multiprocessing` pool and returns results in submission order, so
-the merged output of ``--jobs N`` is byte-identical to ``--jobs 1`` --
-parallelism must never observably reorder anything (determinism is this
-repository's law; see ``docs/performance.md``).
+*cells*.  :func:`map_cells` dispatches cells across a pool of worker
+processes and returns results in submission order, so the merged output
+of ``--jobs N`` is byte-identical to ``--jobs 1`` -- parallelism must
+never observably reorder anything (determinism is this repository's
+law; see ``docs/performance.md``).
+
+Two properties of the pool matter beyond ordering:
+
+* **One-time setup is hoisted into an initializer.**  Workers used to
+  pay the heavy experiment-stack import (and any machine calibration a
+  cell triggers) lazily inside the first cell they executed;
+  :func:`_warm_worker` now runs once per worker at startup, and the
+  parent warms the :func:`repro.bench.harness.calibrate` cache before
+  forking so children inherit the constant copy-on-write instead of
+  re-spinning the loop.
+* **Workers are non-daemonic** (``ProcessPoolExecutor``, fork
+  context), so a cell may itself fan out -- ``--jobs`` composes with
+  the parallel kernel's ``--workers`` LP processes; daemonic
+  ``multiprocessing.Pool`` workers cannot have children.
 
 Cell workers are module-level functions taking one picklable dict, as
 the pool requires.  Wall-clock fields returned by workers (the overhead
@@ -18,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 __all__ = [
@@ -29,18 +44,43 @@ __all__ = [
 ]
 
 
+def _warm_worker() -> None:
+    """Per-worker one-time setup, run by the pool initializer.
+
+    Imports the experiment stack (simulator, fabric, services, the
+    experiment modules every cell worker reaches for) once at worker
+    start instead of once inside the first cell, and warms the bench
+    calibration cache so a cell that asks for machine metadata does
+    not re-run the spin loop.  Future per-process setup belongs here.
+    """
+    import repro.cluster  # noqa: F401  pulls sim/net/margo/symbiosys
+    import repro.experiments.faults  # noqa: F401
+    import repro.experiments.hepnos  # noqa: F401
+    import repro.validate.fuzz  # noqa: F401
+
+
 def map_cells(worker: Callable, cells: Iterable, jobs: int = 1) -> list:
     """Run ``worker`` over every cell, ``jobs`` at a time.
 
     Results come back in cell order regardless of completion order
-    (``Pool.map`` preserves input order), so merging is deterministic.
-    ``jobs <= 1`` runs inline -- no pool, no pickling requirements.
+    (``Executor.map`` preserves input order), so merging is
+    deterministic.  ``jobs <= 1`` runs inline -- no pool, no pickling
+    requirements.
     """
     cells = list(cells)
     if jobs <= 1 or len(cells) <= 1:
         return [worker(cell) for cell in cells]
-    with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
-        return pool.map(worker, cells)
+    # Warm the calibration constant in the parent: the fork below hands
+    # every worker the cached value copy-on-write.
+    from ..bench.harness import calibrate
+
+    calibrate()
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)),
+        mp_context=multiprocessing.get_context("fork"),
+        initializer=_warm_worker,
+    ) as pool:
+        return list(pool.map(worker, cells))
 
 
 # -- cell workers (module level: the pool pickles them by name) ----------

@@ -45,7 +45,13 @@ __all__ = [
     "ResponseWire",
 ]
 
-_cookies = itertools.count(1)
+# Cookies are allocated per HGCore instance (see __init__), not from a
+# module-global counter: a cookie only ever routes within its origin
+# (``_posted`` lives on the origin core), so per-instance uniqueness
+# suffices -- and instance-local allocation keeps cookie sequences
+# identical whether logical processes share one interpreter or run in
+# separate OS processes (the parallel kernel's workers=1 vs workers=N
+# byte-identity depends on this).
 
 #: The degraded-mode gauges of the resilience layer, in report order.
 RESILIENCE_PVARS = (
@@ -198,6 +204,7 @@ class HGCore:
         #: Live OFI read cap; starts at the configured value and may be
         #: raised at runtime (the dynamic-reconfiguration extension).
         self.ofi_max_events = self.config.ofi_max_events
+        self._cookies = itertools.count(1)
         self._rpcs: dict[str, Optional[Callable[[HGHandle], None]]] = {}
         self._posted: dict[int, tuple[HGHandle, Callable]] = {}
         self._cancelled: set[int] = set()
@@ -417,7 +424,7 @@ class HGCore:
         if rpc_name not in self._rpcs:
             raise ValueError(f"RPC {rpc_name!r} is not registered")
         return HGHandle(
-            cookie=next(_cookies),
+            cookie=next(self._cookies),
             rpc_name=rpc_name,
             origin_addr=self.addr,
             target_addr=target_addr,

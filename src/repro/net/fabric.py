@@ -23,7 +23,32 @@ from ..sim import Simulator
 from .endpoint import Endpoint
 from .message import CQEntry, CQKind, Message
 
-__all__ = ["Fabric", "FabricConfig", "WireFault"]
+__all__ = ["Fabric", "FabricConfig", "RemotePeer", "WireFault"]
+
+
+class RemotePeer:
+    """Registry entry for an endpoint living in another logical process.
+
+    Quacks like an :class:`~repro.net.endpoint.Endpoint` for the two
+    attributes the fault hooks inspect (``addr``, ``node``) plus the
+    liveness flag the send/RDMA paths check.  The conservative kernel
+    (:mod:`repro.sim.parallel`) installs one per cross-LP address; the
+    fabric then ships matching transfers through the boundary outbox
+    instead of a local delivery event.
+    """
+
+    __slots__ = ("addr", "node", "closed")
+
+    def __init__(self, addr: str, node: str):
+        self.addr = addr
+        self.node = node
+        #: Remote liveness as last communicated by the kernel.  Static
+        #: partitioned deployments never flip this; cross-LP crash
+        #: propagation is an explicit non-goal (see docs/performance.md).
+        self.closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemotePeer({self.addr!r}, node={self.node!r})"
 
 
 @dataclass
@@ -37,6 +62,21 @@ class WireFault:
     copies: int = 0
     #: Latency spike added to the wire time, seconds.
     extra_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        # A negative spike would let a wire time undercut the configured
+        # latency floor -- the lookahead the conservative parallel kernel
+        # derives from :meth:`FabricConfig.min_cross_node_latency` -- so
+        # it is rejected at construction, not discovered as a causality
+        # violation mid-run.
+        if self.extra_delay < 0:
+            raise ValueError(
+                f"WireFault.extra_delay must be non-negative, got "
+                f"{self.extra_delay!r} (a negative spike would undercut "
+                f"the fabric's cross-node latency floor)"
+            )
+        if self.copies < 0:
+            raise ValueError("WireFault.copies must be non-negative")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -68,6 +108,35 @@ class FabricConfig(Replaceable):
             raise ValueError("jitter_sigma must be non-negative")
         if not 0.0 <= self.drop_rate < 1.0:
             raise ValueError("drop_rate must be in [0, 1)")
+
+    def min_cross_node_latency(self) -> float:
+        """The guaranteed lower bound on any *cross-node* wire time.
+
+        This is the lookahead of the conservative parallel kernel
+        (:mod:`repro.sim.parallel`): a message sent at ``t`` between
+        nodes in different logical processes cannot arrive before
+        ``t + min_cross_node_latency()``, so every LP may safely
+        execute the window ``[T, T + lookahead)`` without hearing from
+        its peers.  Raises :class:`ValueError` when the configuration
+        admits wire times below the floor -- lognormal jitter has no
+        positive lower bound (``exp(normal)`` can shrink the latency
+        term arbitrarily), so no valid lookahead exists under
+        ``jitter_sigma > 0`` -- or when the floor is zero, which would
+        make conservative windows unable to advance time at all.
+        """
+        if self.jitter_sigma > 0:
+            raise ValueError(
+                f"jitter_sigma={self.jitter_sigma} admits wire times below "
+                "the latency floor (the lognormal multiplier has no "
+                "positive lower bound); a conservative lookahead does not "
+                "exist -- disable jitter for partitioned runs"
+            )
+        if self.latency <= 0:
+            raise ValueError(
+                "latency must be positive to derive a conservative "
+                "lookahead (a zero floor cannot advance a bounded window)"
+            )
+        return self.latency
 
 
 class Fabric:
@@ -110,6 +179,21 @@ class Fabric:
         self.track_inflight = False
         #: Bytes currently on the wire (sent but not yet delivered).
         self.inflight_bytes = 0
+        #: Cross-LP extension of the ledger (zero for monolithic runs):
+        #: bytes handed to another logical process through the boundary
+        #: outbox, and bytes injected here on behalf of a remote sender.
+        #: The per-fabric identity becomes ``total + duplicated +
+        #: imported == delivered + dropped + discarded + inflight +
+        #: exported``.
+        self.exported_bytes = 0
+        self.imported_bytes = 0
+        #: Addresses owned by other logical processes: addr ->
+        #: :class:`RemotePeer`.  Empty for monolithic simulations.
+        self.remote_peers: dict[str, RemotePeer] = {}
+        #: Outbound boundary transfers of the current window, appended in
+        #: send order as ``(send_ts, recv_ts, msg)`` and drained by the
+        #: LP runtime at the window barrier.
+        self.boundary_outbox: list[tuple[float, float, Message]] = []
 
     # -- endpoint registry --------------------------------------------------
 
@@ -128,6 +212,20 @@ class Fabric:
         ep = Endpoint(self.sim, addr, node=node)
         self.register(ep)
         return ep
+
+    def register_remote(self, addr: str, node: str) -> RemotePeer:
+        """Declare ``addr`` as living in another logical process on
+        ``node``.  Sends to it are routed through the boundary outbox;
+        RDMA reads against it are computed locally (the simulated
+        transfer is timing-only -- the initiator already holds the
+        payload object)."""
+        if addr in self._endpoints:
+            raise ValueError(f"{addr!r} is a local endpoint, not remote")
+        if addr in self.remote_peers:
+            raise ValueError(f"duplicate remote peer {addr!r}")
+        peer = RemotePeer(addr, node)
+        self.remote_peers[addr] = peer
+        return peer
 
     # -- timing model ---------------------------------------------------------
 
@@ -157,7 +255,12 @@ class Fabric:
         for its completion callback (t13).  Returns the delivery time.
         """
         src_ep = self.endpoint(msg.src)
-        dst_ep = self.endpoint(msg.dst)
+        dst_ep = self._endpoints.get(msg.dst)
+        if dst_ep is None:
+            peer = self.remote_peers.get(msg.dst)
+            if peer is None:
+                self.endpoint(msg.dst)  # raises the canonical KeyError
+            return self._send_remote(msg, src_ep, peer, on_local_complete)
         self.total_messages += 1
         self.total_bytes += msg.size_bytes
 
@@ -220,6 +323,90 @@ class Fabric:
             deliver_at = min(deliver_at, at)
         return deliver_at
 
+    def _send_remote(
+        self,
+        msg: Message,
+        src_ep: Endpoint,
+        peer: RemotePeer,
+        on_local_complete: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Ship ``msg`` toward an endpoint owned by another LP.
+
+        The wire time is computed *here*, deterministically (the plan
+        validator rejects jittered configs), and the message rides the
+        boundary outbox with its precomputed arrival instant; the
+        receiving LP injects it with :meth:`inject_remote`.  Cross-LP
+        links are always inter-node (the partitioner never splits a
+        node), so the inter-node latency -- the kernel's lookahead --
+        bounds ``recv_ts - send_ts`` from below even under fault-rule
+        delay spikes (validated non-negative).
+        """
+        self.total_messages += 1
+        self.total_bytes += msg.size_bytes
+        if src_ep.closed:
+            self.total_dropped += 1
+            self.dropped_bytes += msg.size_bytes
+            return float("inf")
+
+        fault: Optional[WireFault] = None
+        if self.fault_hook is not None:
+            fault = self.fault_hook.on_message(msg, src_ep, peer)
+
+        dropped = (fault is not None and fault.drop) or peer.closed
+        if (
+            not dropped
+            and self.config.drop_rate > 0
+            and self._rng is not None
+            and self._rng.random() < self.config.drop_rate
+        ):
+            dropped = True
+        if dropped:
+            self.total_dropped += 1
+            self.dropped_bytes += msg.size_bytes
+            if on_local_complete is not None:
+                inject = msg.size_bytes / self.config.bandwidth
+                self.sim.call_after(inject, on_local_complete)
+            return float("inf")
+
+        inject_time = msg.size_bytes / self.config.bandwidth
+        if on_local_complete is not None:
+            self.sim.call_after(inject_time, on_local_complete)
+
+        extra_delay = fault.extra_delay if fault is not None else 0.0
+        copies = 1 + (fault.copies if fault is not None else 0)
+        self.total_duplicated += copies - 1
+        self.duplicated_bytes += (copies - 1) * msg.size_bytes
+        now = self.sim.now
+        delay = (
+            self.wire_time(src_ep.node, peer.node, msg.size_bytes)
+            + extra_delay
+        )
+        recv_at = now + delay
+        for _ in range(copies):
+            self.exported_bytes += msg.size_bytes
+            self.boundary_outbox.append((now, recv_at, msg))
+        return recv_at
+
+    def inject_remote(self, msg: Message, recv_ts: float) -> None:
+        """Land one boundary transfer shipped by a peer LP's
+        :meth:`_send_remote`.
+
+        Called by the LP runtime at a window barrier, before the window
+        containing ``recv_ts`` executes; the imported and in-flight
+        credits move together so the extended conservation identity
+        holds at every observable instant.
+        """
+        dst_ep = self.endpoint(msg.dst)
+        self.imported_bytes += msg.size_bytes
+        self.inflight_bytes += msg.size_bytes
+        self.sim.call_at(
+            recv_ts,
+            self._deliver,
+            dst_ep,
+            CQEntry(kind=CQKind.RECV, payload=msg, enqueued_at=recv_ts),
+            msg.size_bytes,
+        )
+
     def _deliver(self, dst_ep: Endpoint, entry: CQEntry, nbytes: int) -> None:
         """Land one wire transfer.
 
@@ -254,7 +441,16 @@ class Fabric:
         Returns the completion time.
         """
         ini_ep = self.endpoint(initiator)
-        rem_ep = self.endpoint(remote)
+        rem_ep = self._endpoints.get(remote)
+        if rem_ep is None:
+            # A cross-LP read is timing-only: the initiator already holds
+            # the payload object, so the transfer completes locally using
+            # the peer's node for the inter-node cost model.  No boundary
+            # event is generated -- nothing arrives at the remote LP --
+            # which also means RDMA never constrains the lookahead.
+            rem_ep = self.remote_peers.get(remote)
+            if rem_ep is None:
+                self.endpoint(remote)  # raises the canonical KeyError
         self.total_messages += 1
         self.total_bytes += size_bytes
 

@@ -1,0 +1,48 @@
+"""Conservative time-windowed parallel discrete-event kernel.
+
+One simulation is partitioned into *logical processes* (LPs), one per
+simulated node or node group, each running its own
+:class:`~repro.sim.Simulator` (wrapped in a full
+:class:`~repro.cluster.Cluster`).  LPs synchronize conservatively: the
+fabric's minimum cross-node latency
+(:meth:`~repro.net.FabricConfig.min_cross_node_latency`) is the
+*lookahead*, every LP executes the bounded window ``[T, T +
+lookahead)``, boundary events are exchanged at a barrier, and the
+global clock floor advances -- no rollback, no speculation, so all
+existing instrumentation (columnar trace buffers, PVAR slots, monitor
+sampling, invariant checking) runs unmodified inside each LP.
+
+Entry points:
+
+* :func:`run_partitioned` -- execute a :class:`PartitionPlan` with
+  ``workers`` OS processes (``workers=1`` runs the identical window
+  schedule in-process; single-LP plans always fall back to it).
+* ``verify=True`` -- run the serial reference and the parallel
+  execution of the same plan and assert byte-identical digests.
+
+See ``docs/performance.md`` (section 7) for the partitioning rules,
+the lookahead derivation, and the non-goals.
+"""
+
+from .channel import BoundaryEvent, inbound_order
+from .kernel import (
+    KernelError,
+    ParallelRunResult,
+    ParallelVerifyError,
+    run_partitioned,
+)
+from .lp import LPContext, LPRuntime
+from .partition import LPSpec, PartitionPlan
+
+__all__ = [
+    "BoundaryEvent",
+    "KernelError",
+    "LPContext",
+    "LPRuntime",
+    "LPSpec",
+    "ParallelRunResult",
+    "ParallelVerifyError",
+    "PartitionPlan",
+    "inbound_order",
+    "run_partitioned",
+]

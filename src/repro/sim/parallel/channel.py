@@ -1,0 +1,55 @@
+"""Seeded, seq-numbered inter-LP boundary channels.
+
+A cross-LP message leaves its origin fabric as a
+:class:`BoundaryEvent`: the sender stamps it with the simulated send
+and receive times plus a per-LP sequence number (assigned in send
+order when the outbox is drained at the end of a window).  The kernel
+routes events between LPs and every receiver injects its inbound batch
+in the *canonical order* ``(recv_ts, src_lp, seq)`` -- the same total
+order regardless of how many OS processes carried the LPs, which is
+what makes the parallel schedule byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class BoundaryEvent:
+    """One cross-LP message crossing a window barrier."""
+
+    src_lp: int
+    dst_lp: int
+    seq: int
+    send_ts: float
+    recv_ts: float
+    msg: Any  # repro.net.Message -- kept loose so channel stays import-light
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.recv_ts, self.src_lp, self.seq)
+
+
+def inbound_order(events: list[BoundaryEvent]) -> list[BoundaryEvent]:
+    """Canonical injection order for one LP's inbound batch."""
+
+    return sorted(events, key=BoundaryEvent.sort_key)
+
+
+def pickle_roundtrip(events: list[BoundaryEvent]) -> list[BoundaryEvent]:
+    """Copy events through pickle, exactly as a process pipe would.
+
+    The in-process (serial) executor routes boundary events through
+    this so both executors hand the receiver a private copy: a handler
+    that mutated a request payload in place would otherwise alias the
+    sender's object in serial mode but not in multiprocessing mode,
+    and the two schedules could diverge.  It also surfaces
+    unpicklable payloads in serial runs, long before anyone reaches
+    for ``--workers``.
+    """
+
+    if not events:
+        return events
+    return pickle.loads(pickle.dumps(events))

@@ -1,0 +1,624 @@
+"""The conservative window coordinator and its two executors.
+
+One loop -- shared verbatim by the in-process (serial) executor and
+the ``multiprocessing`` executor -- decides every window from the same
+inputs (per-LP next-event times, done flags, routed boundary events),
+so the window schedule, and therefore every simulated outcome, is
+byte-identical regardless of how many OS processes carry the LPs:
+
+1. *floor*: the minimum pending timestamp across every LP's local
+   queue and every routed-but-undelivered boundary event (idle spans
+   are jumped, never stepped through),
+2. *window*: ``[floor, floor + lookahead)`` executes on every LP
+   (events strictly before the end),
+3. *barrier*: outboxes drain into seq-numbered boundary events, the
+   kernel routes them, and the next floor is computed.
+
+Conservative safety: a message sent at ``s`` inside the window arrives
+no earlier than ``s + lookahead >= floor + lookahead`` = the window
+end, so no LP can receive an event in a window it already executed --
+no rollback is ever needed.
+
+Kernel self-observability flows through the ordinary metrics types
+(:class:`~repro.symbiosys.metrics.MetricsRegistry` counters/gauges +
+a :class:`~repro.symbiosys.metrics.SeriesStore` of per-round samples):
+``kernel_windows_executed``, ``kernel_boundary_events``,
+``kernel_lp_imbalance``, and the wall-clock-based
+``kernel_barrier_wait_frac``.  Everything except the barrier fraction
+is a pure function of the simulated schedule and participates in the
+deterministic report; wall-clock timing never does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Optional
+
+from ...symbiosys.metrics import MetricsRegistry, SeriesStore
+from .channel import BoundaryEvent, pickle_roundtrip
+from .lp import LPRuntime
+from .partition import PartitionPlan
+
+__all__ = [
+    "KernelError",
+    "ParallelRunResult",
+    "ParallelVerifyError",
+    "run_partitioned",
+]
+
+
+class KernelError(RuntimeError):
+    """The kernel could not execute or complete the partitioned run."""
+
+
+class ParallelVerifyError(KernelError):
+    """``verify=True`` found a serial-vs-parallel digest mismatch."""
+
+    def __init__(self, mismatches: list[str]):
+        self.mismatches = mismatches
+        super().__init__(
+            "parallel run diverged from serial reference in: "
+            + ", ".join(mismatches)
+        )
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# executors: same protocol, different transports
+# ---------------------------------------------------------------------------
+
+
+class _SerialExecutor:
+    """All LPs in this interpreter, stepped sequentially.
+
+    Boundary events still round-trip through pickle so both executors
+    hand receivers private copies (see
+    :func:`~repro.sim.parallel.channel.pickle_roundtrip`).
+    """
+
+    workers_used = 1
+
+    def __init__(self, plan: PartitionPlan):
+        self._runtimes = [LPRuntime(plan, i) for i in range(plan.n_lps)]
+
+    def init(self) -> dict[int, dict]:
+        return {rt.lp_id: rt.init_info() for rt in self._runtimes}
+
+    def bind(self, addr_to_lp: dict[str, int]) -> None:
+        for rt in self._runtimes:
+            rt.bind(addr_to_lp)
+
+    def round(
+        self,
+        start: float,
+        end: float,
+        inbound: dict[int, list[BoundaryEvent]],
+    ) -> dict[int, dict]:
+        out = {}
+        for rt in self._runtimes:
+            t0 = time.perf_counter()
+            rep = rt.window(
+                start, end, pickle_roundtrip(inbound.get(rt.lp_id, []))
+            )
+            rep["wall"] = time.perf_counter() - t0
+            out[rt.lp_id] = rep
+        return out
+
+    def finish(self) -> dict[int, dict]:
+        return {rt.lp_id: rt.finish() for rt in self._runtimes}
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(plan: PartitionPlan, lp_ids: list[int], conn) -> None:
+    """Entry point of one ``multiprocessing`` worker (fork context:
+    the plan and its builder closures arrive by memory inheritance,
+    never by pickle)."""
+    try:
+        runtimes = {i: LPRuntime(plan, i) for i in lp_ids}
+        conn.send(("init", {i: rt.init_info() for i, rt in runtimes.items()}))
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "bind":
+                for rt in runtimes.values():
+                    rt.bind(cmd[1])
+            elif op == "round":
+                _, start, end, inbound = cmd
+                out = {}
+                for i, rt in runtimes.items():
+                    t0 = time.perf_counter()
+                    rep = rt.window(start, end, inbound.get(i, []))
+                    rep["wall"] = time.perf_counter() - t0
+                    out[i] = rep
+                conn.send(("round", out))
+            elif op == "finish":
+                conn.send(("finish", {i: rt.finish() for i, rt in runtimes.items()}))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol bug
+                raise KernelError(f"unknown kernel command {op!r}")
+    except Exception:  # pragma: no cover - surfaced in the parent
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+
+
+class _ProcessExecutor:
+    """LPs spread round-robin over forked worker processes."""
+
+    def __init__(self, plan: PartitionPlan, workers: int):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        self.workers_used = min(workers, plan.n_lps)
+        assignment: list[list[int]] = [[] for _ in range(self.workers_used)]
+        for lp_id in range(plan.n_lps):
+            assignment[lp_id % self.workers_used].append(lp_id)
+        self._lp_to_worker = {
+            lp_id: w for w, ids in enumerate(assignment) for lp_id in ids
+        }
+        self._conns = []
+        self._procs = []
+        for ids in assignment:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(plan, ids, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def _recv(self, conn, expect: str):
+        try:
+            tag, payload = conn.recv()
+        except EOFError:
+            raise KernelError("kernel worker died mid-protocol") from None
+        if tag == "error":
+            raise KernelError(f"kernel worker failed:\n{payload}")
+        if tag != expect:  # pragma: no cover - protocol bug
+            raise KernelError(f"expected {expect!r} reply, got {tag!r}")
+        return payload
+
+    def _gather(self, expect: str) -> dict[int, dict]:
+        merged: dict[int, dict] = {}
+        for conn in self._conns:
+            merged.update(self._recv(conn, expect))
+        return merged
+
+    def init(self) -> dict[int, dict]:
+        return self._gather("init")
+
+    def bind(self, addr_to_lp: dict[str, int]) -> None:
+        for conn in self._conns:
+            conn.send(("bind", addr_to_lp))
+
+    def round(
+        self,
+        start: float,
+        end: float,
+        inbound: dict[int, list[BoundaryEvent]],
+    ) -> dict[int, dict]:
+        for w, conn in enumerate(self._conns):
+            batch = {
+                lp_id: events
+                for lp_id, events in inbound.items()
+                if self._lp_to_worker[lp_id] == w
+            }
+            conn.send(("round", start, end, batch))
+        return self._gather("round")
+
+    def finish(self) -> dict[int, dict]:
+        for conn in self._conns:
+            conn.send(("finish",))
+        return self._gather("finish")
+
+    def close(self) -> None:
+        for conn in self._conns:
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+
+
+# ---------------------------------------------------------------------------
+# result
+# ---------------------------------------------------------------------------
+
+
+class ParallelRunResult:
+    """Outcome of one partitioned run.
+
+    Everything :meth:`report` and :meth:`digests` expose is a pure
+    function of the simulated schedule -- byte-identical across
+    ``workers`` counts.  Wall-clock facts (:attr:`wall_time`,
+    :attr:`barrier_wait_frac`) live in :meth:`timing` only.
+    """
+
+    def __init__(
+        self,
+        *,
+        plan: PartitionPlan,
+        workers_requested: int,
+        workers_used: int,
+        fallback: Optional[str],
+        lp_reports: list[dict],
+        windows_executed: int,
+        boundary_events: int,
+        wall_time: float,
+        barrier_wait_frac: float,
+        registry: MetricsRegistry,
+        store: SeriesStore,
+    ):
+        self.plan_name = plan.name
+        self.seed = plan.seed
+        self.lookahead = plan.lookahead()
+        self.n_lps = plan.n_lps
+        self.workers_requested = workers_requested
+        self.workers_used = workers_used
+        self.fallback = fallback
+        self.lp_reports = lp_reports
+        self.windows_executed = windows_executed
+        self.boundary_events = boundary_events
+        self.wall_time = wall_time
+        self.barrier_wait_frac = barrier_wait_frac
+        #: Kernel self-observability: registry of counters/gauges plus
+        #: per-round samples, both in the ordinary metrics types so
+        #: the existing exporters and the store can consume them.
+        self.registry = registry
+        self.store = store
+        self.verified_against: Optional[dict[str, str]] = None
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return all(
+            r["makespan"] is not None
+            for r in self.lp_reports
+            if r["has_done"]
+        )
+
+    @property
+    def makespan(self) -> float:
+        spans = [
+            r["makespan"] for r in self.lp_reports if r["makespan"] is not None
+        ]
+        return max(spans) if spans else 0.0
+
+    @property
+    def events_processed(self) -> int:
+        return sum(r["events_processed"] for r in self.lp_reports)
+
+    # -- deterministic merge ------------------------------------------------
+
+    def merged_timeline_csv(self) -> str:
+        """All per-LP trace rows interleaved by ``(true_ts, lp_id,
+        order)`` -- one global timeline, identical for every worker
+        count."""
+        rows = []
+        for r in self.lp_reports:
+            for true_ts, process, order, kind, rpc, req in r["trace_rows"]:
+                rows.append((true_ts, r["lp_id"], process, order, kind, rpc, req))
+        rows.sort()
+        lines = ["true_ts,lp,process,order,kind,rpc,request"]
+        for true_ts, lp_id, process, order, kind, rpc, req in rows:
+            lines.append(
+                f"{true_ts!r},{lp_id},{process},{order},{kind},{rpc},{req}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def merged_series_csv(self) -> str:
+        """All per-LP monitor samples merged, sorted by ``(name,
+        labels, lp, time)`` to mirror the serial CSV exporter."""
+        rows = []
+        for r in self.lp_reports:
+            for t, name, labels_text, v in r["series_rows"]:
+                rows.append((name, labels_text, r["lp_id"], t, v))
+        rows.sort()
+        lines = ["name,labels,lp,time,value"]
+        for name, labels_text, lp_id, t, v in rows:
+            lines.append(f"{name},{labels_text},{lp_id},{t!r},{v!r}")
+        return "\n".join(lines) + "\n"
+
+    # -- verification surface -----------------------------------------------
+
+    def digests(self) -> dict[str, str]:
+        """Digest of every deterministic artifact: the merged
+        timeline/series views, each LP's own exports, and the kernel
+        schedule summary."""
+        out = {
+            "merged_timeline": _digest(self.merged_timeline_csv()),
+            "merged_series": _digest(self.merged_series_csv()),
+            "kernel": _digest(self.report()),
+        }
+        for r in self.lp_reports:
+            for kind, text in sorted(r.get("artifacts", {}).items()):
+                out[f"lp{r['lp_id']}:{r['name']}:{kind}"] = _digest(text)
+        return out
+
+    def report(self) -> str:
+        """Deterministic run card (no wall-clock facts)."""
+        lines = [
+            f"parallel run: {self.plan_name}",
+            f"  lps: {self.n_lps}  seed: {self.seed}  "
+            f"lookahead: {self.lookahead!r}",
+            f"  windows: {self.windows_executed}  "
+            f"boundary events: {self.boundary_events}",
+            f"  events: {self.events_processed}  done: {self.done}  "
+            f"makespan: {self.makespan!r}",
+        ]
+        if self.fallback:
+            lines.append(f"  serial fallback: {self.fallback}")
+        for r in self.lp_reports:
+            lines.append(
+                f"  lp{r['lp_id']} {r['name']}: "
+                f"events={r['events_processed']} "
+                f"exported={r['exported_bytes']} "
+                f"imported={r['imported_bytes']} "
+                f"stranded={r['stranded_boundary']} "
+                f"leaked={r['leaked_events']} "
+                f"violations={r['violations']}"
+            )
+            for key in sorted(r["extra"]):
+                lines.append(f"    {key}: {r['extra'][key]!r}")
+        return "\n".join(lines)
+
+    def timing(self) -> dict[str, float]:
+        """Wall-clock facts -- real measurements, excluded from every
+        deterministic surface."""
+        return {
+            "wall_time": self.wall_time,
+            "barrier_wait_frac": self.barrier_wait_frac,
+            "workers_used": float(self.workers_used),
+        }
+
+    def verify_mismatches(self, other: "ParallelRunResult") -> list[str]:
+        mine, theirs = self.digests(), other.digests()
+        keys = sorted(set(mine) | set(theirs))
+        return [k for k in keys if mine.get(k) != theirs.get(k)]
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+
+
+def _validate_topology(plan: PartitionPlan, infos: dict[int, dict]) -> dict:
+    """Partition rules: one node per LP, remotes must resolve."""
+    addr_to_lp: dict[str, int] = {}
+    addr_node: dict[str, str] = {}
+    node_owner: dict[str, int] = {}
+    for lp_id in sorted(infos):
+        info = infos[lp_id]
+        for node in info["local_nodes"]:
+            prev = node_owner.get(node)
+            if prev is not None:
+                raise KernelError(
+                    f"node {node!r} spans LPs {prev} and {lp_id}; "
+                    "intra-node traffic cannot cross an LP boundary"
+                )
+            node_owner[node] = lp_id
+        for addr, node in info["local_addrs"].items():
+            if addr in addr_to_lp:
+                raise KernelError(f"address {addr!r} created in two LPs")
+            addr_to_lp[addr] = lp_id
+            addr_node[addr] = node
+    for lp_id in sorted(infos):
+        for addr, node in infos[lp_id]["remote_addrs"].items():
+            if addr not in addr_to_lp:
+                raise KernelError(
+                    f"LP {lp_id} declared remote {addr!r}, "
+                    "but no LP created it"
+                )
+            if addr_to_lp[addr] == lp_id:
+                raise KernelError(
+                    f"LP {lp_id} declared its own process {addr!r} as remote"
+                )
+            if addr_node[addr] != node:
+                raise KernelError(
+                    f"remote {addr!r} declared on node {node!r} "
+                    f"but lives on {addr_node[addr]!r}"
+                )
+    if not any(info["has_done"] for info in infos.values()):
+        raise KernelError("no LP declared a done event (ctx.set_done)")
+    return addr_to_lp
+
+
+def _run_with_executor(
+    plan: PartitionPlan, executor, workers_requested: int, fallback: Optional[str]
+) -> ParallelRunResult:
+    registry = MetricsRegistry()
+    store = SeriesStore(capacity=65536)
+    windows = registry.counter(
+        "kernel_windows_executed",
+        help="conservative windows the kernel executed",
+    )
+    boundary = registry.counter(
+        "kernel_boundary_events",
+        help="cross-LP boundary events routed at barriers",
+    )
+    imbalance = registry.gauge(
+        "kernel_lp_imbalance",
+        help="per-window (max-min)/max LP event-count imbalance",
+    )
+    barrier_frac = registry.gauge(
+        "kernel_barrier_wait_frac",
+        help="fraction of aggregate worker wall-time spent at barriers",
+    )
+    t_start = time.perf_counter()
+    busy_wall = 0.0
+    round_wall = 0.0
+
+    try:
+        infos = executor.init()
+        if set(infos) != set(range(plan.n_lps)):  # pragma: no cover
+            raise KernelError("executor lost track of LPs")
+        addr_to_lp = _validate_topology(plan, infos)
+        executor.bind(addr_to_lp)
+
+        lookahead = plan.lookahead()
+        next_ts: dict[int, Optional[float]] = {
+            i: infos[i]["next_ts"] for i in infos
+        }
+        done: dict[int, bool] = {i: not infos[i]["has_done"] for i in infos}
+        pending: dict[int, list[BoundaryEvent]] = {i: [] for i in infos}
+        quiesce_end: Optional[float] = None
+        n_windows = 0
+        n_boundary = 0
+
+        while True:
+            candidates = [t for t in next_ts.values() if t is not None]
+            candidates += [
+                ev.recv_ts for events in pending.values() for ev in events
+            ]
+            if not candidates:
+                break  # fully idle everywhere
+            floor = min(candidates)
+            have_pending = any(pending.values())
+            if (
+                quiesce_end is not None
+                and not have_pending
+                and floor >= quiesce_end
+            ):
+                break
+            if floor >= plan.limit:
+                if not all(done.values()):
+                    raise KernelError(
+                        f"partitioned run hit limit {plan.limit!r} before "
+                        "every done event fired"
+                    )
+                break
+            end = floor + lookahead
+            inbound, pending = pending, {i: [] for i in infos}
+
+            t0 = time.perf_counter()
+            reports = executor.round(floor, end, inbound)
+            dt = time.perf_counter() - t0
+            round_wall += dt * executor.workers_used
+            busy_wall += sum(rep["wall"] for rep in reports.values())
+
+            n_routed = 0
+            for lp_id in sorted(reports):
+                rep = reports[lp_id]
+                next_ts[lp_id] = rep["next_ts"]
+                done[lp_id] = done[lp_id] or rep["done"]
+                for ev in rep["outbound"]:
+                    pending[ev.dst_lp].append(ev)
+                    n_routed += 1
+            n_windows += 1
+            n_boundary += n_routed
+
+            counts = [reports[i]["events"] for i in sorted(reports)]
+            peak = max(counts) if counts else 0
+            imb = (peak - min(counts)) / peak if peak else 0.0
+            windows.inc()
+            boundary.inc(n_routed)
+            imbalance.set(imb)
+            store.series("kernel_boundary_events").append(floor, n_routed)
+            store.series("kernel_lp_imbalance").append(floor, imb)
+            for lp_id in sorted(reports):
+                store.series(
+                    "kernel_window_events",
+                    {"lp": plan.lps[lp_id].name},
+                ).append(floor, reports[lp_id]["events"])
+
+            if all(done.values()) and quiesce_end is None:
+                quiesce_end = end + plan.quiesce
+
+        # A limit-break can leave routed-but-undelivered events; they
+        # count against the exported side of the ledger below.
+        undelivered_bytes = sum(
+            ev.msg.size_bytes for events in pending.values() for ev in events
+        )
+        finish = executor.finish()
+    finally:
+        executor.close()
+
+    frac = 1.0 - busy_wall / round_wall if round_wall > 0 else 0.0
+    barrier_frac.set(frac)
+
+    lp_reports = []
+    exported = imported = stranded_bytes = 0
+    for lp_id in sorted(finish):
+        rep = finish[lp_id]
+        rep["has_done"] = infos[lp_id]["has_done"]
+        lp_reports.append(rep)
+        exported += rep["exported_bytes"]
+        imported += rep["imported_bytes"]
+        stranded_bytes += rep.get("stranded_bytes", 0)
+    if exported != imported + stranded_bytes + undelivered_bytes:
+        raise KernelError(
+            f"cross-LP byte ledger broken: exported {exported} != "
+            f"imported {imported} + stranded {stranded_bytes} "
+            f"+ undelivered {undelivered_bytes}"
+        )
+
+    return ParallelRunResult(
+        plan=plan,
+        workers_requested=workers_requested,
+        workers_used=executor.workers_used,
+        fallback=fallback,
+        lp_reports=lp_reports,
+        windows_executed=n_windows,
+        boundary_events=n_boundary,
+        wall_time=time.perf_counter() - t_start,
+        barrier_wait_frac=max(0.0, frac),
+        registry=registry,
+        store=store,
+    )
+
+
+def run_partitioned(
+    plan: PartitionPlan, *, workers: int = 1, verify: bool = False
+) -> ParallelRunResult:
+    """Execute ``plan`` with ``workers`` OS processes.
+
+    ``workers=1`` (or a single-LP plan, or a platform without the
+    ``fork`` start method) runs the identical window schedule
+    in-process.  ``verify=True`` additionally runs the serial
+    reference and raises :class:`ParallelVerifyError` unless every
+    deterministic digest matches byte-for-byte.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    fallback = None
+    if workers > 1 and plan.n_lps < 2:
+        fallback = "single-LP plan"
+    elif workers > 1 and not _fork_available():
+        fallback = "no fork start method"
+
+    if workers > 1 and fallback is None:
+        result = _run_with_executor(
+            plan, _ProcessExecutor(plan, workers), workers, None
+        )
+    else:
+        result = _run_with_executor(
+            plan, _SerialExecutor(plan), workers, fallback
+        )
+
+    if verify and result.workers_used > 1:
+        reference = _run_with_executor(
+            plan, _SerialExecutor(plan), 1, None
+        )
+        mismatches = result.verify_mismatches(reference)
+        if mismatches:
+            raise ParallelVerifyError(mismatches)
+        result.verified_against = reference.digests()
+    return result
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()

@@ -1,0 +1,280 @@
+"""One logical process: a private Cluster executed in bounded windows.
+
+An :class:`LPRuntime` wraps a full :class:`~repro.cluster.Cluster`
+(simulator, fabric, collector, monitor, validator -- all the existing
+machinery, unmodified) and drives it window by window on behalf of the
+kernel:
+
+1. inject the inbound boundary batch in canonical ``(recv_ts,
+   src_lp, seq)`` order via :meth:`Fabric.inject_remote`,
+2. execute every local event strictly before the window end
+   (:meth:`Simulator.run_window`),
+3. drain the fabric's ``boundary_outbox`` into seq-numbered
+   :class:`~repro.sim.parallel.channel.BoundaryEvent` objects, and
+4. report the next local event time and the done flag, so the kernel
+   can pick the next window floor.
+
+Builders see an :class:`LPContext`, a thin veneer over the cluster
+that additionally records node ownership (for the no-node-spans-two-
+LPs check), registers remote peers, and collects the workload's done
+event and report counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ...cluster import Cluster
+from .channel import BoundaryEvent, inbound_order
+from .partition import PartitionPlan
+
+__all__ = ["LPContext", "LPRuntime"]
+
+
+class KernelInvariantError(RuntimeError):
+    """A conservative-synchronization invariant was violated."""
+
+
+class LPContext:
+    """What an LP builder gets to work with."""
+
+    def __init__(self, runtime: "LPRuntime"):
+        self._rt = runtime
+        #: Builder-owned report fields (RPC counters, per-LP tallies);
+        #: must stay picklable -- they travel back in the finish report.
+        self.report: dict[str, Any] = {}
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._rt.cluster
+
+    @property
+    def lp_id(self) -> int:
+        return self._rt.lp_id
+
+    @property
+    def lp_name(self) -> str:
+        return self._rt.name
+
+    @property
+    def n_lps(self) -> int:
+        return self._rt.n_lps
+
+    def process(self, addr: str, node: Optional[str] = None, **kw: Any):
+        """Create a local Mochi process (see :meth:`Cluster.process`)
+        and record its node as owned by this LP."""
+        mi = self._rt.cluster.process(addr, node, **kw)
+        ep = self._rt.cluster.fabric.endpoint(addr)
+        self._rt.local_nodes[ep.node] = None
+        self._rt.local_addrs[addr] = ep.node
+        return mi
+
+    def register_remote(self, addr: str, node: str) -> None:
+        """Declare a process living in another LP.  Messages to
+        ``addr`` become boundary events; RDMA against it completes
+        locally on wire timing alone.  Idempotent, so independent
+        builders sharing an LP may declare the same peer."""
+        known = self._rt.remote_addrs.get(addr)
+        if known is not None:
+            if known != node:
+                raise ValueError(
+                    f"remote {addr!r} re-declared on node {node!r}, "
+                    f"was {known!r}"
+                )
+            return
+        self._rt.cluster.fabric.register_remote(addr, node)
+        self._rt.remote_addrs[addr] = node
+
+    def set_done(self, event) -> None:
+        """Hand the kernel this LP's workload-complete SimEvent."""
+        self._rt.done_event = event
+
+    def spawn(self, fn: Callable, *args: Any):
+        return self._rt.cluster.sim.spawn(fn, *args)
+
+
+class LPRuntime:
+    """Executes one LP for the kernel (in-process or inside a worker)."""
+
+    def __init__(self, plan: PartitionPlan, lp_id: int):
+        self.plan = plan
+        self.lp_id = lp_id
+        self.name = plan.lps[lp_id].name
+        self.n_lps = plan.n_lps
+        self.lookahead = plan.lookahead()
+        self.cluster = Cluster(
+            seed=plan.seed,
+            fabric_config=plan.fabric_config,
+            **plan.cluster_kw,
+        )
+        self.local_nodes: dict[str, None] = {}
+        self.local_addrs: dict[str, str] = {}
+        self.remote_addrs: dict[str, str] = {}
+        self.done_event = None
+        self._addr_to_lp: Optional[dict[str, int]] = None
+        self._next_seq = 0
+        self._finished = False
+        self.ctx = LPContext(self)
+        plan.lps[lp_id].builder(self.ctx)
+
+    # -- kernel protocol ----------------------------------------------------
+
+    def init_info(self) -> dict:
+        """Topology declaration, sent to the kernel before round 0."""
+        return {
+            "name": self.name,
+            "local_addrs": dict(self.local_addrs),
+            "local_nodes": sorted(self.local_nodes),
+            "remote_addrs": dict(self.remote_addrs),
+            "has_done": self.done_event is not None,
+            "next_ts": self.cluster.sim.peek(),
+        }
+
+    def bind(self, addr_to_lp: dict[str, int]) -> None:
+        """Install the global address->LP map (for outbound routing)
+        after the kernel validated the partition."""
+        self._addr_to_lp = addr_to_lp
+
+    def window(
+        self, start: float, end: float, inbound: list[BoundaryEvent]
+    ) -> dict:
+        """Execute ``[start, end)``: inject, run, drain the outbox."""
+        sim = self.cluster.sim
+        fabric = self.cluster.fabric
+        for ev in inbound_order(inbound):
+            if ev.recv_ts < start:
+                raise KernelInvariantError(
+                    f"LP {self.lp_id}: inbound event at {ev.recv_ts!r} "
+                    f"before window start {start!r}"
+                )
+            if ev.recv_ts < ev.send_ts + self.lookahead:
+                raise KernelInvariantError(
+                    f"LP {self.lp_id}: boundary event delivered "
+                    f"{ev.recv_ts - ev.send_ts!r}s after send, below the "
+                    f"lookahead floor {self.lookahead!r}"
+                )
+            fabric.inject_remote(ev.msg, ev.recv_ts)
+        processed = sim.run_window(end)
+        return {
+            "outbound": self._drain_outbox(),
+            "next_ts": sim.peek(),
+            "done": self.done_event is not None and self.done_event.fired,
+            "events": processed,
+        }
+
+    def _drain_outbox(self) -> list[BoundaryEvent]:
+        fabric = self.cluster.fabric
+        out = []
+        for send_ts, recv_ts, msg in fabric.boundary_outbox:
+            dst_lp = self._addr_to_lp[msg.dst]
+            out.append(
+                BoundaryEvent(
+                    src_lp=self.lp_id,
+                    dst_lp=dst_lp,
+                    seq=self._next_seq,
+                    send_ts=send_ts,
+                    recv_ts=recv_ts,
+                    msg=msg,
+                )
+            )
+            self._next_seq += 1
+        fabric.boundary_outbox.clear()
+        return out
+
+    def finish(self) -> dict:
+        """Shut the cluster down (full drain) and assemble the LP
+        report: counters, merge rows, and -- when the plan collects --
+        the per-LP export artifacts."""
+        if self._finished:
+            raise KernelInvariantError(f"LP {self.lp_id} finished twice")
+        self._finished = True
+        c = self.cluster
+        c.shutdown(drain=True)
+        # Sends attempted during the drain have no barrier left to
+        # carry them; they are counted, never silently dropped.
+        stranded = len(c.fabric.boundary_outbox)
+        stranded_bytes = sum(
+            msg.size_bytes for _, _, msg in c.fabric.boundary_outbox
+        )
+        report: dict[str, Any] = {
+            "lp_id": self.lp_id,
+            "name": self.name,
+            "processes": sorted(c.processes),
+            "nodes": sorted(self.local_nodes),
+            "events_processed": c.sim.events_processed,
+            "leaked_events": c.leaked_events,
+            "stranded_boundary": stranded,
+            "stranded_bytes": stranded_bytes,
+            "exported_bytes": c.fabric.exported_bytes,
+            "imported_bytes": c.fabric.imported_bytes,
+            "violations": (
+                len(c.validator.violations) if c.validator is not None else 0
+            ),
+            "makespan": (
+                self.done_event.value
+                if self.done_event is not None and self.done_event.fired
+                else None
+            ),
+            "extra": dict(self.ctx.report),
+            "trace_rows": self._trace_rows(),
+            "series_rows": self._series_rows(),
+        }
+        if self.plan.collect:
+            report["artifacts"] = self._artifacts()
+        return report
+
+    # -- report assembly ----------------------------------------------------
+
+    def _trace_rows(self) -> list[tuple]:
+        """Merge-ready trace rows: ``(true_ts, process, order, kind,
+        rpc_name, request_id)`` -- the kernel prefixes ``lp_id``."""
+        collector = self.cluster.collector
+        if collector is None:
+            return []
+        rows = []
+        for process, events in sorted(collector.events_by_process().items()):
+            for ev in events:
+                rows.append(
+                    (
+                        ev.true_ts,
+                        process,
+                        ev.order,
+                        ev.kind.name,
+                        ev.rpc_name or "",
+                        ev.request_id,
+                    )
+                )
+        return rows
+
+    def _series_rows(self) -> list[tuple]:
+        """Merge-ready monitor samples: ``(t, name, labels_text, v)``."""
+        monitor = self.cluster.monitor
+        if monitor is None:
+            return []
+        rows = []
+        for ts in monitor.store.all_series():
+            labels_text = "|".join(f"{k}={v}" for k, v in ts.labels)
+            for t, v in ts.samples():
+                rows.append((t, ts.name, labels_text, v))
+        return rows
+
+    def _artifacts(self) -> dict[str, str]:
+        # Lazy imports: the export surface must not load for
+        # collect=False benchmark runs.
+        from ...symbiosys.analysis import profile_summary
+        from ...symbiosys.export import series_to_csv, to_prometheus
+        from ...symbiosys.perfetto import chrome_trace_json
+
+        c = self.cluster
+        arts: dict[str, str] = {}
+        if c.monitor is not None:
+            arts["prometheus"] = to_prometheus(c.monitor.registry)
+            arts["series_csv"] = series_to_csv(c.monitor.store)
+        if c.collector is not None:
+            arts["perfetto"] = chrome_trace_json(
+                monitor=c.monitor,
+                collector=c.collector,
+                fault_events=c.fault_events(),
+            )
+            arts["profile"] = profile_summary(c.collector).render()
+        return arts

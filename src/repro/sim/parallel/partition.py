@@ -1,0 +1,98 @@
+"""Partitioning a simulation into logical processes.
+
+An :class:`LPSpec` names one LP and carries a *builder*: a callable
+that receives an :class:`~repro.sim.parallel.lp.LPContext` and
+populates that LP's private :class:`~repro.cluster.Cluster` -- its
+processes, providers, remote-peer declarations, and workload
+coroutines.  A :class:`PartitionPlan` groups the LP specs with the
+shared knobs (seed, fabric config, limits) and derives the
+*lookahead* from the fabric's minimum cross-node latency.
+
+Partitioning rules (validated at kernel init):
+
+* One simulated node lives in exactly one LP.  Intra-node traffic
+  (``intra_node_latency`` = 0.4 us by default) never crosses an LP
+  boundary, so the lookahead only has to cover the *cross-node* floor
+  (``latency`` = 1.5 us by default).
+* Every ``register_remote(addr, node)`` declaration must name a
+  process that some other LP actually created, on the node it
+  actually lives on.
+* ``jitter_sigma`` must be 0: a lognormal wire-time multiplier has no
+  positive lower bound, so no valid lookahead exists
+  (:meth:`~repro.net.FabricConfig.min_cross_node_latency` raises).
+  Delay faults are fine -- ``extra_delay`` is validated non-negative,
+  which can only push wire times *above* the floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ...net import FabricConfig
+
+__all__ = ["LPSpec", "PartitionPlan"]
+
+
+@dataclass
+class LPSpec:
+    """One logical process: a name plus the builder that populates it.
+
+    The builder runs inside the worker that owns the LP (under
+    ``multiprocessing`` it runs after the fork, in the child), so it
+    may close over arbitrary objects -- nothing about it is pickled.
+    """
+
+    name: str
+    builder: Callable[[Any], None]  # receives an LPContext
+
+
+@dataclass
+class PartitionPlan:
+    """Everything the kernel needs to execute a partitioned run."""
+
+    lps: list[LPSpec]
+    seed: int = 0
+    #: Shared by every LP's fabric; also the source of the lookahead.
+    fabric_config: Optional[FabricConfig] = None
+    #: Hard ceiling on simulated time; exceeding it before every LP's
+    #: done event fires is an error (mirrors the serial workloads'
+    #: ``run_until_event(..., limit=...)`` convention).
+    limit: float = 5.0
+    #: Extra simulated time windowed through after the workload
+    #: completes, so in-flight tails (responses, retries, monitor
+    #: ticks) drain deterministically before per-LP shutdown.
+    quiesce: float = 2e-3
+    #: Keyword arguments applied to every per-LP ``Cluster`` (stage,
+    #: monitoring, validate, retry, ...).  ``seed`` and
+    #: ``fabric_config`` come from the plan itself.
+    cluster_kw: dict = field(default_factory=dict)
+    #: Assemble per-LP export artifacts (prometheus/CSV/perfetto/
+    #: profile) at finish.  Benchmarks switch this off.
+    collect: bool = True
+    #: Display name for reports.
+    name: str = "partitioned"
+
+    def __post_init__(self) -> None:
+        if not self.lps:
+            raise ValueError("PartitionPlan needs at least one LP")
+        names = [lp.name for lp in self.lps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate LP names: {names}")
+        for key in ("seed", "fabric_config"):
+            if key in self.cluster_kw:
+                raise ValueError(
+                    f"cluster_kw[{key!r}] conflicts with the plan field"
+                )
+        # Fail early: an invalid fabric (jitter, non-positive latency)
+        # has no conservative lookahead.
+        self.lookahead()
+
+    def lookahead(self) -> float:
+        """The conservative window width, from the fabric's floor."""
+        config = self.fabric_config or FabricConfig()
+        return config.min_cross_node_latency()
+
+    @property
+    def n_lps(self) -> int:
+        return len(self.lps)

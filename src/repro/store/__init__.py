@@ -41,6 +41,7 @@ from .writer import (
     record_bench_suite,
     record_cluster_run,
     record_overhead_study,
+    record_parallel_run,
 )
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "record_bench_suite",
     "record_cluster_run",
     "record_overhead_study",
+    "record_parallel_run",
     "schema_version",
 ]
 

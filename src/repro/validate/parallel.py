@@ -1,0 +1,349 @@
+"""Partitioned golden workloads for the parallel kernel.
+
+Mirrors of the single-cluster golden workloads (sdskv, bake, hepnos,
+sharded), rebuilt as :class:`~repro.sim.parallel.PartitionPlan`\\ s:
+servers and clients live in separate logical processes and every RPC
+crosses an LP boundary.  They serve two jobs:
+
+* **Golden corpus entries** (``parallel_sdskv`` ...): executed with
+  ``workers=1`` they are ordinary deterministic runs whose artifact
+  digests are pinned in ``golden_corpus.json``.
+* **The determinism matrix**: :func:`parallel_result` executed with
+  ``workers`` in {1, 2, 4} must produce byte-identical digests -- the
+  kernel's ``verify`` mode and the matrix test in
+  ``tests/test_parallel_kernel.py`` both lean on this.
+
+Note these are *different simulations* from their serial golden
+namesakes (a partitioned fleet is static: no membership heartbeats, no
+migration -- see docs/performance.md section 7), so they get their own
+corpus entries; the byte-identity guarantee is across *worker counts*
+of the same plan, serial execution included.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..net import FabricConfig
+from ..sim.parallel import LPSpec, ParallelRunResult, PartitionPlan, run_partitioned
+from ..symbiosys import Stage
+from ..symbiosys.monitor import MonitorConfig
+from .invariants import ValidationConfig
+from .workloads import RunArtifacts
+
+__all__ = [
+    "PARALLEL_SERVICES",
+    "parallel_golden_run",
+    "parallel_plan",
+    "parallel_result",
+]
+
+#: Same seed as the serial golden corpus.
+PARALLEL_SEED = 1234
+
+_SHARDED_SERVERS = 32
+_SHARDED_SERVER_LPS = 4
+
+
+def _cluster_kw() -> dict:
+    return dict(
+        stage=Stage.FULL,
+        monitoring=MonitorConfig(interval=50e-6),
+        validate=ValidationConfig(strict=True),
+    )
+
+
+# ---------------------------------------------------------------------------
+# sdskv: one server LP, one client LP
+# ---------------------------------------------------------------------------
+
+
+def _sdskv_server(ctx) -> None:
+    from ..services.sdskv import SdskvProvider
+
+    server = ctx.process("sdskv-svr", "nodeS", n_handler_es=2)
+    SdskvProvider(server, 0, n_databases=2)
+    ctx.register_remote("sdskv-cli", "nodeC")
+
+
+def _sdskv_client(ctx) -> None:
+    from ..services.sdskv import SdskvClient
+
+    client_mi = ctx.process("sdskv-cli", "nodeC")
+    ctx.register_remote("sdskv-svr", "nodeS")
+    client = SdskvClient(client_mi)
+    done = ctx.cluster.sim.event("parallel-sdskv-done")
+    ctx.set_done(done)
+
+    def body():
+        ok = 0
+        for i in range(8):
+            yield from client.put("sdskv-svr", 0, i % 2, f"k{i}", f"v{i}")
+            ok += 1
+        for i in range(8):
+            value = yield from client.get("sdskv-svr", 0, i % 2, f"k{i}")
+            assert value == f"v{i}"
+            ok += 1
+        ctx.report["rpcs_ok"] = ok
+        done.succeed(ctx.cluster.sim.now)
+
+    client_mi.client_ult(body(), name="parallel-sdskv")
+
+
+# ---------------------------------------------------------------------------
+# bake: one server LP, one client LP (bulk-RDMA across the boundary)
+# ---------------------------------------------------------------------------
+
+
+def _bake_server(ctx) -> None:
+    from ..services.bake import BakeProvider
+
+    server = ctx.process("bake-svr", "nodeS", n_handler_es=2)
+    BakeProvider(server, 0)
+    ctx.register_remote("bake-cli", "nodeC")
+
+
+def _bake_client(ctx) -> None:
+    from ..services.bake import BakeClient
+
+    client_mi = ctx.process("bake-cli", "nodeC")
+    ctx.register_remote("bake-svr", "nodeS")
+    client = BakeClient(client_mi)
+    done = ctx.cluster.sim.event("parallel-bake-done")
+    ctx.set_done(done)
+
+    def body():
+        ok = 0
+        rids = []
+        for i in range(4):
+            rid = yield from client.create_write_persist(
+                "bake-svr", 0, bytes(512 * (i + 1))
+            )
+            rids.append(rid)
+            ok += 1
+        for i, rid in enumerate(rids):
+            data = yield from client.read("bake-svr", 0, rid)
+            assert len(data) == 512 * (i + 1)
+            ok += 1
+        ctx.report["rpcs_ok"] = ok
+        done.succeed(ctx.cluster.sim.now)
+
+    client_mi.client_ult(body(), name="parallel-bake")
+
+
+# ---------------------------------------------------------------------------
+# hepnos: two server LPs, one client LP (real client hashing path)
+# ---------------------------------------------------------------------------
+
+
+def _hepnos_server(ctx, index: int) -> None:
+    from ..services.bake import BakeProvider
+    from ..services.hepnos import PID_BAKE, PID_SDSKV
+    from ..services.sdskv import SdskvProvider
+
+    mi = ctx.process(f"hepnos{index}", f"snode{index}", n_handler_es=2)
+    BakeProvider(mi, PID_BAKE)
+    SdskvProvider(mi, PID_SDSKV, n_databases=2)
+    other = 1 - index
+    ctx.register_remote(f"hepnos{other}", f"snode{other}")
+    ctx.register_remote("hepnos-cli", "cnode0")
+
+
+def _hepnos_client(ctx) -> None:
+    from ..services.hepnos import HEPnOSClient, HEPnOSService
+    from ..services.hepnos.service import _ServerInfo
+
+    client_mi = ctx.process("hepnos-cli", "cnode0")
+    # Client-side service stub: routing needs only the roster
+    # (addr/node/db counts), never the server objects themselves.
+    service = HEPnOSService()
+    for i in range(2):
+        ctx.register_remote(f"hepnos{i}", f"snode{i}")
+        service.info.append(
+            _ServerInfo(addr=f"hepnos{i}", node=f"snode{i}", n_databases=2)
+        )
+        service.group.join(f"hepnos{i}")
+    client = HEPnOSClient(client_mi, service)
+    done = ctx.cluster.sim.event("parallel-hepnos-done")
+    ctx.set_done(done)
+
+    def body():
+        ok = 0
+        for i in range(12):
+            yield from client.store_event(f"run0/event{i}", {"e": i})
+            ok += 1
+        for i in range(0, 12, 3):
+            value = yield from client.load_event(f"run0/event{i}")
+            assert value == {"e": i}
+            ok += 1
+        ctx.report["rpcs_ok"] = ok
+        done.succeed(ctx.cluster.sim.now)
+
+    client_mi.client_ult(body(), name="parallel-hepnos")
+
+
+# ---------------------------------------------------------------------------
+# sharded: a 32-server static fleet over 4 server LPs + 1 client LP
+# ---------------------------------------------------------------------------
+
+
+def _sharded_server(ctx, local_indices: list[int]) -> None:
+    from ..shard import ShardedKVService
+
+    ctx.register_remote("shard-cli", "cnode0")
+    ShardedKVService.deploy_partition(ctx, _SHARDED_SERVERS, local_indices)
+
+
+def _sharded_client(ctx) -> None:
+    from ..shard import ShardedKVService
+
+    client_mi = ctx.process("shard-cli", "cnode0")
+    router = ShardedKVService.make_partition_router(
+        ctx, client_mi, _SHARDED_SERVERS
+    )
+    done = ctx.cluster.sim.event("parallel-sharded-done")
+    ctx.set_done(done)
+
+    def body():
+        ok = 0
+        for i in range(24):
+            yield from router.put(f"k{i:03d}", f"v{i}")
+            ok += 1
+        for i in range(12):
+            yield from router.put_event("golden.ds", 0, i, {"e": i})
+            ok += 1
+        for i in range(24):
+            value = yield from router.get(f"k{i:03d}")
+            assert value == f"v{i}"
+            ok += 1
+        for i in range(0, 12, 3):
+            value = yield from router.get_event("golden.ds", 0, i)
+            assert value == {"e": i}
+            ok += 1
+        ctx.report["rpcs_ok"] = ok
+        done.succeed(ctx.cluster.sim.now)
+
+    client_mi.client_ult(body(), name="parallel-sharded")
+
+
+def _sharded_lps() -> list[LPSpec]:
+    from ..shard import ShardedKVService
+
+    parts = ShardedKVService.partition_servers(
+        _SHARDED_SERVERS, _SHARDED_SERVER_LPS
+    )
+    lps = []
+    for lp, indices in enumerate(parts):
+        local = list(indices)
+        lps.append(
+            LPSpec(
+                f"servers{lp}",
+                lambda ctx, local=local: _sharded_server(ctx, local),
+            )
+        )
+    lps.append(LPSpec("client", _sharded_client))
+    return lps
+
+
+# ---------------------------------------------------------------------------
+# plans and runners
+# ---------------------------------------------------------------------------
+
+PARALLEL_SERVICES = ("sdskv", "bake", "hepnos", "sharded")
+
+
+def parallel_plan(service: str, *, collect: bool = True) -> PartitionPlan:
+    """The canonical partition plan for one golden service."""
+    if service == "sdskv":
+        lps = [LPSpec("server", _sdskv_server), LPSpec("client", _sdskv_client)]
+    elif service == "bake":
+        lps = [LPSpec("server", _bake_server), LPSpec("client", _bake_client)]
+    elif service == "hepnos":
+        lps = [
+            LPSpec("server0", lambda ctx: _hepnos_server(ctx, 0)),
+            LPSpec("server1", lambda ctx: _hepnos_server(ctx, 1)),
+            LPSpec("client", _hepnos_client),
+        ]
+    elif service == "sharded":
+        lps = _sharded_lps()
+    else:
+        raise ValueError(
+            f"unknown parallel service {service!r} "
+            f"(expected one of {list(PARALLEL_SERVICES)})"
+        )
+    return PartitionPlan(
+        lps=lps,
+        seed=PARALLEL_SEED,
+        fabric_config=FabricConfig(),
+        cluster_kw=_cluster_kw(),
+        collect=collect,
+        name=f"parallel_{service}",
+    )
+
+
+def parallel_result(
+    service: str,
+    *,
+    workers: int = 1,
+    verify: bool = False,
+    collect: bool = True,
+) -> ParallelRunResult:
+    """Execute one partitioned golden service and return the raw
+    kernel result (benchmarks and the CLI build on this)."""
+    return run_partitioned(
+        parallel_plan(service, collect=collect), workers=workers, verify=verify
+    )
+
+
+def parallel_golden_run(
+    service: str, *, workers: int = 1, verify: bool = False
+) -> RunArtifacts:
+    """One partitioned golden run rendered as :class:`RunArtifacts`
+    (the corpus entry shape): per-LP exports concatenated under LP
+    banners, the merged series view as the CSV export, and the
+    kernel's deterministic run card prefixed to the profile text."""
+    result = parallel_result(service, workers=workers, verify=verify)
+    total_violations = sum(r["violations"] for r in result.lp_reports)
+    if total_violations:
+        raise RuntimeError(
+            f"parallel {service}: {total_violations} invariant violation(s)"
+        )
+    if not result.done:
+        raise RuntimeError(f"parallel {service} run did not finish")
+
+    def banner(r: dict) -> str:
+        return f"# === lp{r['lp_id']} {r['name']} ==="
+
+    prometheus = "\n".join(
+        f"{banner(r)}\n{r['artifacts']['prometheus']}"
+        for r in result.lp_reports
+    )
+    profile = "\n\n".join(
+        [result.report()]
+        + [f"{banner(r)}\n{r['artifacts']['profile']}" for r in result.lp_reports]
+    )
+    perfetto = json.dumps(
+        {
+            f"lp{r['lp_id']}:{r['name']}": json.loads(
+                r["artifacts"]["perfetto"]
+            )
+            for r in result.lp_reports
+        },
+        sort_keys=True,
+    )
+    rpcs_ok = sum(r["extra"].get("rpcs_ok", 0) for r in result.lp_reports)
+    return RunArtifacts(
+        workload=f"parallel_{service}",
+        seed=PARALLEL_SEED,
+        preset="fast",
+        scale=result.n_lps,
+        makespan=result.makespan,
+        rpcs_ok=rpcs_ok,
+        rpcs_failed=0,
+        leaked_events=sum(r["leaked_events"] for r in result.lp_reports),
+        violations=[],
+        prometheus_text=prometheus,
+        series_csv=result.merged_series_csv(),
+        perfetto_json=perfetto,
+        profile_text=profile,
+    )

@@ -1,0 +1,112 @@
+"""The parallel-kernel scale experiment and its integrations.
+
+Covers the deterministic CLI surface (double-run and cross-worker
+byte-identity of the report), store recording through
+``record_parallel_run`` plus the ``kernel`` analysis op over it, and
+the ``--jobs`` x ``--workers`` composition: experiment-cell fan-out
+workers are non-daemonic, so a cell may itself fork LP processes.
+"""
+
+import os
+import tempfile
+
+from repro.experiments.parallel_scale import (
+    ParallelScaleCell,
+    run_parallel_scale,
+    smoke_parallel_cell,
+)
+from repro.experiments.runner import map_cells
+
+CELL = ParallelScaleCell(
+    n_servers=8, server_lps=2, n_clients=2, keys_per_client=4
+)
+
+
+def test_double_run_is_byte_identical():
+    a = run_parallel_scale(CELL, workers=1)
+    b = run_parallel_scale(CELL, workers=1)
+    a.check_invariants()
+    assert a.report() == b.report()
+
+
+def test_report_is_identical_across_workers():
+    serial = run_parallel_scale(CELL, workers=1)
+    parallel = run_parallel_scale(CELL, workers=2, verify=True)
+    assert serial.report() == parallel.report()
+    assert parallel.result.verified_against is not None
+
+
+def test_smoke_cell_shape():
+    cell = smoke_parallel_cell()
+    assert cell.n_servers == 32
+    assert cell.server_lps == 4
+    assert "par-" in cell.name
+
+
+def test_store_recording_and_kernel_query():
+    from repro.analysis.queries import run_query
+    from repro.store import PerfStore
+
+    path = os.path.join(tempfile.mkdtemp(), "parallel.db")
+    scale = run_parallel_scale(CELL, workers=1, store=path)
+    store = PerfStore(path)
+    try:
+        (run,) = store.runs(kind="parallel")
+        assert run["config"]["n_lps"] == CELL.server_lps + 1
+        reply = run_query(store, "kernel", {"run": run["run_id"]})
+        assert reply["windows"] == scale.result.windows_executed
+        assert (
+            reply["boundary_events"]["total"]
+            == scale.result.boundary_events
+        )
+        assert len(reply["lps"]) == CELL.server_lps + 1
+        assert reply["workers_used"] == 1
+        # Byte-determinism of the reply itself.
+        assert reply == run_query(store, "kernel", {"run": run["run_id"]})
+    finally:
+        store.close()
+
+
+def test_kernel_query_rejects_other_kinds():
+    import pytest
+
+    from repro.analysis.queries import run_query
+    from repro.store import PerfStore, StoreWriter
+
+    path = os.path.join(tempfile.mkdtemp(), "other.db")
+    writer = StoreWriter(PerfStore(path))
+    run_id = writer.begin_run("not-parallel", kind="cluster", seed=0)
+    writer.flush()
+    try:
+        with pytest.raises(ValueError, match="kind"):
+            run_query(writer.store, "kernel", {"run": run_id})
+    finally:
+        writer.store.close()
+
+
+def _parallel_cell_worker(cell: dict) -> str:
+    """Module-level (picklable) cell: one parallel run inside a pool
+    worker -- exercises nested fork under ``map_cells``."""
+    result = run_parallel_scale(
+        ParallelScaleCell(**cell["cell"]),
+        workers=cell["workers"],
+        collect=False,
+    )
+    result.check_invariants()
+    return result.report()
+
+
+def test_jobs_compose_with_workers():
+    cell = {
+        "cell": {
+            "n_servers": 8,
+            "server_lps": 2,
+            "n_clients": 2,
+            "keys_per_client": 4,
+        },
+        "workers": 2,
+    }
+    inline = map_cells(_parallel_cell_worker, [cell, cell], jobs=1)
+    pooled = map_cells(_parallel_cell_worker, [cell, cell], jobs=2)
+    assert inline == pooled
+    assert inline[0] == inline[1]

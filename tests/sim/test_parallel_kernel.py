@@ -1,0 +1,361 @@
+"""The conservative parallel kernel: determinism, safety, validation.
+
+The load-bearing claims under test:
+
+* the deterministic surfaces (report, digests, merged CSVs) are
+  byte-identical across worker counts -- the ``--verify`` contract,
+* no boundary event is ever delivered earlier than ``send_ts +
+  lookahead`` (conservative safety), and the LP runtime refuses one
+  that would be,
+* the topology validator rejects every partition the execution model
+  cannot honor,
+* the cross-LP byte ledger balances and the kernel's self-
+  observability series line up with the schedule.
+"""
+
+import pytest
+
+from repro.sim.parallel import (
+    BoundaryEvent,
+    KernelError,
+    LPSpec,
+    ParallelVerifyError,
+    PartitionPlan,
+    inbound_order,
+    run_partitioned,
+)
+from repro.sim.parallel import kernel as kernel_mod
+from repro.sim.parallel.channel import pickle_roundtrip
+from repro.net import FabricConfig
+
+N_RPCS = 8
+
+
+def _echo_handler(mi, handle):
+    inp = yield from mi.get_input(handle)
+    yield from mi.respond(handle, {"echo": inp["n"]})
+
+
+def _server_builder(ctx):
+    mi = ctx.process("svr", "nodeS", n_handler_es=1)
+    mi.register("echo", _echo_handler)
+    ctx.register_remote("cli", "nodeC")
+
+
+def _client_builder(ctx):
+    mi = ctx.process("cli", "nodeC")
+    mi.register("echo")
+    ctx.register_remote("svr", "nodeS")
+    done = ctx.cluster.sim.event("test-done")
+
+    def body():
+        ok = 0
+        for i in range(N_RPCS):
+            out = yield from mi.forward("svr", "echo", {"n": i})
+            assert out["echo"] == i
+            ok += 1
+        ctx.report["rpcs_ok"] = ok
+        done.succeed(ctx.cluster.sim.now)
+
+    mi.client_ult(body(), name="test-client")
+    ctx.set_done(done)
+
+
+def echo_plan(**plan_kw):
+    plan_kw.setdefault("name", "test_echo")
+    return PartitionPlan(
+        lps=[LPSpec("server", _server_builder),
+             LPSpec("client", _client_builder)],
+        **plan_kw,
+    )
+
+
+# -- determinism across worker counts ------------------------------------
+
+
+def test_digests_identical_across_worker_counts():
+    serial = run_partitioned(echo_plan(), workers=1)
+    parallel = run_partitioned(echo_plan(), workers=2)
+    assert serial.workers_used == 1
+    assert parallel.workers_used == 2
+    assert parallel.fallback is None
+    assert serial.verify_mismatches(parallel) == []
+    assert serial.digests() == parallel.digests()
+    assert serial.report() == parallel.report()
+    assert serial.merged_timeline_csv() == parallel.merged_timeline_csv()
+
+
+def test_verify_records_the_reference_digests():
+    result = run_partitioned(echo_plan(), workers=2, verify=True)
+    assert result.verified_against == result.digests()
+
+
+def test_run_completes_and_reports():
+    result = run_partitioned(echo_plan(), workers=1)
+    assert result.done
+    assert result.makespan > 0
+    assert result.windows_executed > 0
+    assert result.boundary_events >= 2 * N_RPCS  # request + response each
+    client = next(r for r in result.lp_reports if r["name"] == "client")
+    assert client["extra"]["rpcs_ok"] == N_RPCS
+    assert all(r["leaked_events"] == 0 for r in result.lp_reports)
+    assert all(r["stranded_boundary"] == 0 for r in result.lp_reports)
+
+
+def test_byte_ledger_balances():
+    result = run_partitioned(echo_plan(), workers=1)
+    exported = sum(r["exported_bytes"] for r in result.lp_reports)
+    imported = sum(r["imported_bytes"] for r in result.lp_reports)
+    assert exported == imported > 0
+
+
+def test_kernel_series_match_the_schedule():
+    result = run_partitioned(echo_plan(), workers=1)
+    series = {
+        (ts.name, ts.labels): ts.samples()
+        for ts in result.store.all_series()
+    }
+    boundary = series[("kernel_boundary_events", ())]
+    assert len(boundary) == result.windows_executed
+    assert sum(v for _, v in boundary) == result.boundary_events
+    for lp_name in ("server", "client"):
+        per_lp = series[("kernel_window_events", (("lp", lp_name),))]
+        assert len(per_lp) == result.windows_executed
+
+
+# -- conservative safety --------------------------------------------------
+
+
+def test_boundary_events_never_undercut_lookahead(monkeypatch):
+    """Property over a real run: every routed boundary event satisfies
+    ``recv_ts >= send_ts + lookahead`` and is delivered into a window
+    at or after its receive time."""
+    plan = echo_plan()
+    lookahead = plan.lookahead()
+    captured = []
+    orig = kernel_mod._SerialExecutor.round
+
+    def recording_round(self, start, end, inbound):
+        for events in inbound.values():
+            for ev in events:
+                assert ev.recv_ts >= start
+        out = orig(self, start, end, inbound)
+        for rep in out.values():
+            captured.extend(rep["outbound"])
+        return out
+
+    monkeypatch.setattr(kernel_mod._SerialExecutor, "round", recording_round)
+    run_partitioned(plan, workers=1)
+    assert captured
+    for ev in captured:
+        assert ev.recv_ts >= ev.send_ts + lookahead
+
+
+def test_lp_runtime_rejects_lookahead_violation():
+    from repro.sim.parallel.lp import KernelInvariantError, LPRuntime
+
+    plan = echo_plan()
+    rt = LPRuntime(plan, 0)  # the server LP
+    rt.bind({"svr": 0, "cli": 1})
+    bad = BoundaryEvent(
+        src_lp=1, dst_lp=0, seq=0, send_ts=1e-6, recv_ts=1.5e-6,
+        msg=None,
+    )
+    with pytest.raises(KernelInvariantError, match="lookahead"):
+        rt.window(1.2e-6, 3e-6, [bad])
+    rt2 = LPRuntime(plan, 0)
+    rt2.bind({"svr": 0, "cli": 1})
+    early = BoundaryEvent(
+        src_lp=1, dst_lp=0, seq=0, send_ts=0.0, recv_ts=1e-6, msg=None,
+    )
+    with pytest.raises(KernelInvariantError, match="before window start"):
+        rt2.window(2e-6, 3e-6, [early])
+
+
+# -- channel ordering -----------------------------------------------------
+
+
+def test_inbound_order_is_canonical():
+    def ev(recv_ts, src_lp, seq):
+        return BoundaryEvent(src_lp=src_lp, dst_lp=0, seq=seq,
+                             send_ts=0.0, recv_ts=recv_ts, msg=None)
+
+    events = [ev(2e-6, 1, 0), ev(1e-6, 2, 5), ev(1e-6, 1, 7), ev(1e-6, 1, 3)]
+    ordered = inbound_order(events)
+    assert [e.sort_key() for e in ordered] == sorted(
+        e.sort_key() for e in events
+    )
+    assert ordered[0].src_lp == 1 and ordered[0].seq == 3
+
+
+def test_pickle_roundtrip_copies():
+    ev = BoundaryEvent(src_lp=0, dst_lp=1, seq=0, send_ts=0.0,
+                       recv_ts=1e-6, msg={"payload": [1, 2]})
+    (copy,) = pickle_roundtrip([ev])
+    assert copy == ev
+    assert copy.msg is not ev.msg
+    assert pickle_roundtrip([]) == []
+
+
+# -- plan and topology validation ----------------------------------------
+
+
+def test_plan_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="at least one LP"):
+        PartitionPlan(lps=[])
+    with pytest.raises(ValueError, match="duplicate LP names"):
+        PartitionPlan(lps=[LPSpec("a", _server_builder),
+                           LPSpec("a", _client_builder)])
+    with pytest.raises(ValueError, match="conflicts with the plan field"):
+        PartitionPlan(lps=[LPSpec("a", _server_builder)],
+                      cluster_kw={"seed": 7})
+    with pytest.raises(ValueError, match="jitter"):
+        PartitionPlan(lps=[LPSpec("a", _server_builder)],
+                      fabric_config=FabricConfig(jitter_sigma=0.2))
+
+
+def _plan_of(*builders):
+    return PartitionPlan(
+        lps=[LPSpec(f"lp{i}", b) for i, b in enumerate(builders)],
+        name="topology",
+    )
+
+
+def test_topology_rejects_node_spanning_two_lps():
+    def a(ctx):
+        ctx.process("p0", "shared")
+
+    def b(ctx):
+        ctx.process("p1", "shared")
+        done = ctx.cluster.sim.event("d")
+        done.succeed(0.0)
+        ctx.set_done(done)
+
+    with pytest.raises(KernelError, match="spans LPs"):
+        run_partitioned(_plan_of(a, b))
+
+
+def test_topology_rejects_duplicate_address():
+    def a(ctx):
+        ctx.process("same", "nodeA")
+
+    def b(ctx):
+        ctx.process("same", "nodeB")
+        ctx.set_done(ctx.cluster.sim.event("d"))
+
+    with pytest.raises(KernelError, match="created in two LPs"):
+        run_partitioned(_plan_of(a, b))
+
+
+def test_topology_rejects_unresolved_remote():
+    def a(ctx):
+        ctx.process("p0", "nodeA")
+        ctx.register_remote("ghost", "nodeG")
+        ctx.set_done(ctx.cluster.sim.event("d"))
+
+    def b(ctx):
+        ctx.process("p1", "nodeB")
+
+    with pytest.raises(KernelError, match="no LP created it"):
+        run_partitioned(_plan_of(a, b))
+
+
+def test_topology_rejects_self_remote():
+    # The builder-level guard fires first: declaring a remote for a
+    # node this LP already owns is caught by the fabric registry.
+    def a(ctx):
+        ctx.process("p0", "nodeA")
+        with pytest.raises(ValueError, match="local endpoint"):
+            ctx.register_remote("p0", "nodeA")
+        done = ctx.cluster.sim.event("d")
+        done.succeed(0.0)
+        ctx.set_done(done)
+
+    def b(ctx):
+        ctx.process("p1", "nodeB")
+        ctx.register_remote("p0", "nodeA")
+
+    run_partitioned(_plan_of(a, b), workers=1)
+
+
+def test_topology_rejects_wrong_node_remote():
+    def a(ctx):
+        ctx.process("p0", "nodeA")
+        ctx.set_done(ctx.cluster.sim.event("d"))
+
+    def b(ctx):
+        ctx.process("p1", "nodeB")
+        ctx.register_remote("p0", "nodeWRONG")
+
+    with pytest.raises(KernelError, match="lives on"):
+        run_partitioned(_plan_of(a, b))
+
+
+def test_topology_requires_a_done_event():
+    def a(ctx):
+        ctx.process("p0", "nodeA")
+
+    with pytest.raises(KernelError, match="done event"):
+        run_partitioned(_plan_of(a))
+
+
+def test_register_remote_is_idempotent_but_checks_node():
+    def a(ctx):
+        ctx.process("p0", "nodeA")
+        ctx.register_remote("p1", "nodeB")
+        ctx.register_remote("p1", "nodeB")  # same declaration: fine
+        with pytest.raises(ValueError, match="re-declared"):
+            ctx.register_remote("p1", "nodeC")
+        done = ctx.cluster.sim.event("d")
+        done.succeed(0.0)
+        ctx.set_done(done)
+
+    def b(ctx):
+        ctx.process("p1", "nodeB")
+        ctx.register_remote("p0", "nodeA")
+
+    run_partitioned(_plan_of(a, b), workers=1)
+
+
+# -- fallback and limits --------------------------------------------------
+
+
+def test_single_lp_plan_falls_back_to_serial():
+    def solo(ctx):
+        ctx.process("p0", "nodeA")
+        done = ctx.cluster.sim.event("d")
+        ctx.cluster.sim.call_at(1e-6, done.succeed, 1e-6)
+        ctx.set_done(done)
+
+    result = run_partitioned(
+        PartitionPlan(lps=[LPSpec("solo", solo)], name="solo"), workers=4
+    )
+    assert result.fallback == "single-LP plan"
+    assert result.workers_used == 1
+    assert "serial fallback" in result.report()
+
+
+def test_limit_break_before_done_is_an_error():
+    def never(ctx):
+        ctx.process("p0", "nodeA")
+        ctx.set_done(ctx.cluster.sim.event("never-fires"))
+
+    def ticker(ctx):
+        ctx.process("p1", "nodeB")
+
+        def tick():
+            ctx.cluster.sim.call_after(1e-3, tick)
+
+        ctx.cluster.sim.call_after(1e-3, tick)
+
+    plan = PartitionPlan(
+        lps=[LPSpec("never", never), LPSpec("ticker", ticker)],
+        limit=5e-3, name="limited",
+    )
+    with pytest.raises(KernelError, match="hit limit"):
+        run_partitioned(plan)
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ValueError, match="workers"):
+        run_partitioned(echo_plan(), workers=0)

@@ -19,7 +19,17 @@ from repro.validate.golden import (
 def test_corpus_is_checked_in_and_complete():
     corpus = load_corpus()
     assert sorted(corpus) == sorted(golden_services())
-    assert golden_services() == ["sdskv", "bake", "sonata", "hepnos", "sharded"]
+    assert golden_services() == [
+        "sdskv",
+        "bake",
+        "sonata",
+        "hepnos",
+        "sharded",
+        "parallel_sdskv",
+        "parallel_bake",
+        "parallel_hepnos",
+        "parallel_sharded",
+    ]
     for service, entry in corpus.items():
         assert set(entry) == {"digests", "summary"}
         assert set(entry["digests"]) == {

@@ -1,0 +1,59 @@
+"""Worker-count matrix over the partitioned golden workloads.
+
+The ``--verify`` contract, exhaustively: for every partitioned corpus
+service (sdskv, bake, hepnos, the 32-server sharded fleet), the full
+digest surface -- merged timeline/series, per-LP prometheus / CSV /
+perfetto / profile exports, the kernel schedule card -- is
+byte-identical at 1, 2, and 4 workers.
+"""
+
+import pytest
+
+from repro.validate.parallel import (
+    PARALLEL_SERVICES,
+    parallel_golden_run,
+    parallel_result,
+)
+
+WORKER_MATRIX = (1, 2, 4)
+
+
+@pytest.mark.parametrize("service", PARALLEL_SERVICES)
+def test_digests_identical_across_worker_matrix(service):
+    reference = parallel_result(service, workers=1)
+    ref_digests = reference.digests()
+    assert reference.done
+    for workers in WORKER_MATRIX[1:]:
+        result = parallel_result(service, workers=workers)
+        assert result.workers_used == min(workers, result.n_lps)
+        assert result.fallback is None
+        mismatched = [
+            key
+            for key, digest in result.digests().items()
+            if ref_digests.get(key) != digest
+        ]
+        assert mismatched == [], (
+            f"{service} diverged at workers={workers}: {mismatched}"
+        )
+        assert result.report() == reference.report()
+
+
+def test_matrix_runs_are_clean():
+    for service in PARALLEL_SERVICES:
+        result = parallel_result(service, workers=1)
+        for rep in result.lp_reports:
+            assert rep["violations"] == 0, (service, rep["name"])
+            assert rep["leaked_events"] == 0, (service, rep["name"])
+            assert rep["stranded_boundary"] == 0, (service, rep["name"])
+
+
+def test_golden_run_artifacts_are_reproducible():
+    # The corpus entry builder itself double-runs byte-identically
+    # (the regen path and the check path must agree).
+    a = parallel_golden_run("sdskv")
+    b = parallel_golden_run("sdskv")
+    assert a.prometheus_text == b.prometheus_text
+    assert a.series_csv == b.series_csv
+    assert a.perfetto_json == b.perfetto_json
+    assert a.profile_text == b.profile_text
+    assert a.digests() == b.digests()
