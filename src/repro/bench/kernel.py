@@ -17,6 +17,11 @@ Each benchmark isolates one kernel mechanism the stack leans on:
   (:mod:`repro.sim.parallel`), one window per lookahead interval; the
   per-window cost of the coordinator loop, boundary-event routing, and
   pickle transport that every parallel run pays.
+* ``boundary_batch`` -- the boundary channels' wire format in
+  isolation: seq-stamped events grouped into columnar
+  :class:`~repro.sim.parallel.BoundaryBatch` objects, round-tripped
+  through pickle, and expanded back into canonical injection order --
+  the per-message cost every cross-LP byte pays at the barrier.
 
 Every benchmark builds a fresh world per repeat and returns the number
 of processed work units, so results read as events/sec or RPCs/sec.
@@ -164,6 +169,49 @@ def bench_parallel_window_sync(n_rpcs: int) -> tuple[int, str]:
     return result.windows_executed, "windows"
 
 
+def bench_boundary_batch(n_events: int, n_channels: int) -> tuple[int, str]:
+    """The batched boundary-channel transport, no kernel attached:
+    group ``n_events`` seq-stamped events into per-channel columnar
+    batches, pickle the batch list across a process boundary (in
+    memory), and expand the result back into the canonical ``(recv_ts,
+    src_lp, seq)`` injection order."""
+    from ..net import Message
+    from ..sim.parallel.channel import (
+        BoundaryBatch,
+        BoundaryEvent,
+        inbound_order,
+        pickle_roundtrip,
+    )
+
+    lookahead = 1.5e-6
+    per_channel: list[list] = [[] for _ in range(n_channels)]
+    for seq in range(n_events):
+        src = seq % n_channels
+        send_ts = 1e-7 * seq
+        per_channel[src].append(
+            BoundaryEvent(
+                src_lp=src,
+                dst_lp=n_channels,
+                seq=seq,
+                send_ts=send_ts,
+                recv_ts=send_ts + lookahead,
+                msg=Message(
+                    src=f"p{src}",
+                    dst="sink",
+                    size_bytes=128,
+                    payload={"seq": seq},
+                    kind="bench",
+                ),
+            )
+        )
+    batches = [BoundaryBatch.from_events(evs) for evs in per_channel if evs]
+    wire = pickle_roundtrip(batches)
+    ordered = inbound_order(wire)
+    if len(ordered) != n_events:
+        raise RuntimeError("boundary batch expansion lost events")
+    return n_events, "events"
+
+
 def _wait(cluster, event, limit: float) -> bool:
     """Event-driven wait, falling back to the predicate API on kernels
     that predate ``run_until_event`` (keeps the suite runnable against
@@ -199,6 +247,10 @@ KERNEL_BENCHMARKS: dict[str, tuple[Callable, Callable]] = {
     "parallel_window_sync": (
         lambda: bench_parallel_window_sync(400),
         lambda: bench_parallel_window_sync(50),
+    ),
+    "boundary_batch": (
+        lambda: bench_boundary_batch(100_000, 8),
+        lambda: bench_boundary_batch(10_000, 8),
     ),
     # The instrumentation hot paths ride along in this suite so their
     # results land in BENCH_kernel.json and the same --check gate.

@@ -14,6 +14,10 @@ kernel's speedup claim, gated in CI with
 ``--max-ratio parallel_scale_w4/parallel_scale_w1=...`` on runners with
 enough cores (on a single-core machine the w4 arm measures pure
 synchronization overhead -- still worth tracking, never worth gating).
+``parallel_scale_n1024_w1`` / ``parallel_scale_n1024_w4`` repeat the
+pair on the thousand-node capacity cell (1024 server nodes, single-ES
+handler pools, hot-key timeout storms) -- the shape the batched
+boundary channels and the flattened O(nodes) hot paths exist for.
 """
 
 from __future__ import annotations
@@ -77,6 +81,21 @@ def bench_parallel_scale(workers: int, smoke: bool) -> tuple[int, str]:
     return run.result.events_processed, "events"
 
 
+def bench_parallel_scale_n1024(workers: int, smoke: bool) -> tuple[int, str]:
+    """The 1024-server capacity cell (handler-pool saturation + hot-key
+    timeout storms) through the parallel kernel; ``smoke`` shrinks the
+    per-ULT op counts, never the fleet."""
+    from ..experiments.parallel_scale import (
+        n1024_parallel_cell,
+        run_parallel_scale,
+    )
+
+    cell = n1024_parallel_cell(smoke=smoke)
+    run = run_parallel_scale(cell, workers=workers, collect=False)
+    run.check_invariants()
+    return run.result.events_processed, "events"
+
+
 #: name -> (full-scale thunk, smoke-scale thunk)
 MACRO_BENCHMARKS: dict[str, tuple[Callable, Callable]] = {
     "sonata": (
@@ -98,6 +117,14 @@ MACRO_BENCHMARKS: dict[str, tuple[Callable, Callable]] = {
     "parallel_scale_w4": (
         lambda: bench_parallel_scale(4, smoke=False),
         lambda: bench_parallel_scale(4, smoke=True),
+    ),
+    "parallel_scale_n1024_w1": (
+        lambda: bench_parallel_scale_n1024(1, smoke=False),
+        lambda: bench_parallel_scale_n1024(1, smoke=True),
+    ),
+    "parallel_scale_n1024_w4": (
+        lambda: bench_parallel_scale_n1024(4, smoke=False),
+        lambda: bench_parallel_scale_n1024(4, smoke=True),
     ),
 }
 

@@ -85,10 +85,13 @@ class Cluster:
         #: Requested parallel-kernel worker count.  A monolithic
         #: ``Cluster`` is one event queue and always executes serially;
         #: deploy-time drivers (``repro.experiments.parallel_scale``,
-        #: the ``scale --workers`` CLI) consume this hint by building a
-        #: :class:`~repro.sim.parallel.PartitionPlan` whose LPs each
-        #: own a private Cluster.  Recorded in the run tags so stored
-        #: runs keep their execution shape.
+        #: the ``scale --workers`` CLI) consume this hint via
+        #: :meth:`PartitionPlan.from_topology
+        #: <repro.sim.parallel.PartitionPlan.from_topology>`, which
+        #: bin-packs the deployed node groups into LPs (each owning a
+        #: private Cluster) without hand-written LP declarations.
+        #: Recorded in the run tags so stored runs keep their
+        #: execution shape.
         self.workers = workers
         self.sim = Simulator()
         self.rng = RngRegistry(seed)

@@ -235,19 +235,34 @@ def _scale_parallel(args) -> None:
     # LPs and executed by the conservative parallel kernel.  stdout is
     # deterministic across runs AND across --workers values (the CI
     # parallel-smoke job diffs both); wall-clock goes to stderr.
+    import dataclasses
+
     from .parallel_scale import (
         ParallelScaleCell,
+        n1024_parallel_cell,
         run_parallel_scale,
         smoke_parallel_cell,
     )
 
-    cell = (
-        smoke_parallel_cell()
-        if args.smoke
-        else ParallelScaleCell(
+    if args.nodes >= 1024:
+        # The thousand-node capacity cell: handler-pool saturation and
+        # timeout storms at fleet scale (--smoke shrinks the per-ULT op
+        # counts, never the fleet).
+        cell = n1024_parallel_cell(smoke=args.smoke)
+    elif args.smoke:
+        cell = smoke_parallel_cell()
+    else:
+        cell = ParallelScaleCell(
             n_servers=64, server_lps=8, n_clients=8, keys_per_client=50
         )
-    )
+    if args.jitter_sigma:
+        # Bounded-jitter fabric: partitioned runs need the truncation
+        # floor declared up front (FabricConfig validates the pair).
+        cell = dataclasses.replace(
+            cell,
+            jitter_sigma=args.jitter_sigma,
+            jitter_bound=args.jitter_bound,
+        )
     result = run_parallel_scale(
         cell,
         seed=args.seed,
@@ -332,6 +347,19 @@ def main(argv=None) -> int:
                         help="with --workers: also run the serial "
                              "reference and require byte-identical "
                              "digests")
+    parser.add_argument("--nodes", type=int, default=0,
+                        help="with --workers: fleet size for the scale "
+                             "target; >= 1024 selects the thousand-node "
+                             "capacity cell (handler-pool saturation + "
+                             "timeout storms)")
+    parser.add_argument("--jitter-sigma", type=float, default=0.0,
+                        help="with --workers: lognormal wire-time jitter "
+                             "sigma for the scale target (requires "
+                             "--jitter-bound)")
+    parser.add_argument("--jitter-bound", type=float, default=0.0,
+                        help="with --workers: truncation bound; jittered "
+                             "wire times are clamped at latency - bound, "
+                             "which becomes the conservative lookahead")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced workload for CI smoke runs")
     parser.add_argument("--out", default=None,

@@ -2,12 +2,23 @@
 
 The serial ``scale`` experiment sweeps churn campaigns (crash, view
 change, migration) -- all cross-LP non-goals of the parallel kernel.
-This experiment is its static counterpart: the same 32+-server
-consistent-hash fleet and client load, partitioned across server LPs
-plus one client LP, every RPC crossing an LP boundary.  It is the
-workload behind ``python -m repro.experiments scale --workers N``, the
-CI ``parallel-smoke`` determinism gate, and the ``parallel_scale``
-macro benchmarks.
+This experiment is its static counterpart: the same consistent-hash
+fleet and client load, auto-partitioned across LPs with
+:meth:`PartitionPlan.from_topology
+<repro.sim.parallel.PartitionPlan.from_topology>` -- no hand-written
+LP declarations.  Server nodes are weighted by the shards they host
+and client nodes by their share of the key traffic, so the greedy
+bin-packing mixes servers and clients into load-balanced LPs.  It is
+the workload behind ``python -m repro.experiments scale --workers N``,
+the CI ``parallel-smoke``/``parallel-1k-smoke`` determinism gates, and
+the ``parallel_scale`` / ``parallel_scale_n1024`` macro benchmarks.
+
+The thousand-node cell (:func:`n1024_parallel_cell`) reproduces the
+paper's queueing pathologies at fleet scale: many client ULTs hammer a
+handful of hot keys against single-ES handler pools with a tight RPC
+timeout, so handler queues saturate and timed-out requests are retried
+into an already saturated pool -- a timeout storm.  Timeouts, retries,
+and giveups are counted deterministically in the LP reports.
 
 The report is deterministic (no wall-clock facts); timing lives in
 :meth:`ParallelScaleResult.timing` for the benchmark harness.
@@ -18,8 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..margo import MargoTimeoutError
 from ..net import FabricConfig
-from ..sim.parallel import LPSpec, ParallelRunResult, PartitionPlan, run_partitioned
+from ..sim.parallel import (
+    ClusterTopology,
+    NodeGroup,
+    ParallelRunResult,
+    PartitionPlan,
+    run_partitioned,
+)
 from ..symbiosys import Stage
 from ..symbiosys.monitor import MonitorConfig
 from ..validate.invariants import ValidationConfig
@@ -28,9 +46,19 @@ __all__ = [
     "ParallelScaleCell",
     "ParallelScaleResult",
     "build_parallel_scale_plan",
+    "build_parallel_scale_topology",
+    "n1024_parallel_cell",
     "run_parallel_scale",
     "smoke_parallel_cell",
 ]
+
+#: Bounded attempts for one logical op under timeout storms; backoff
+#: doubles per consecutive timeout so the offered retry load collapses
+#: and every storm deterministically drains.  Exhausting the budget is
+#: a loud deterministic failure, never a silent drop.
+_RETRY_BUDGET = 64
+_RETRY_BACKOFF = 50e-6
+_RETRY_BACKOFF_CAP = 3.2e-3
 
 
 @dataclass(frozen=True)
@@ -41,13 +69,52 @@ class ParallelScaleCell:
     server_lps: int
     n_clients: int
     keys_per_client: int
+    #: Concurrent driver ULTs per client process (closed-loop each).
+    ults_per_client: int = 1
+    #: Shared hot-key range every ULT hammers after its unique phase
+    #: (0 disables the storm phase).
+    hot_keys: int = 0
+    #: Hot puts per ULT into that range.
+    hot_puts: int = 0
+    #: Router RPC deadline; tighten it against a saturated handler
+    #: pool to reproduce timeout storms.
+    rpc_timeout: float = 2e-3
+    n_handler_es: int = 2
+    #: Bounded-jitter fabric: lognormal wire-time jitter truncated at
+    #: ``latency - jitter_bound`` (must be declared together; see
+    #: :meth:`FabricConfig.min_cross_node_latency`).
+    jitter_sigma: float = 0.0
+    jitter_bound: float = 0.0
+    monitor_interval: float = 50e-6
+    limit: float = 5.0
+    #: Acceptance: this cell must deterministically produce forward
+    #: timeouts (the storm actually happened).
+    expect_storm: bool = False
 
     @property
     def name(self) -> str:
-        return (
+        base = (
             f"par-{self.n_servers}s-{self.server_lps}lp"
             f"-{self.n_clients}c-{self.keys_per_client}k"
         )
+        if self.ults_per_client != 1:
+            base += f"-u{self.ults_per_client}"
+        if self.hot_puts:
+            base += f"-hot{self.hot_keys}x{self.hot_puts}"
+        if self.jitter_sigma:
+            base += "-jit"
+        return base
+
+    @property
+    def total_unique_ops(self) -> int:
+        """Put+get pairs over unique keys (must all succeed)."""
+        return (
+            2 * self.n_clients * self.ults_per_client * self.keys_per_client
+        )
+
+    @property
+    def total_hot_ops(self) -> int:
+        return self.n_clients * self.ults_per_client * self.hot_puts
 
 
 def smoke_parallel_cell() -> ParallelScaleCell:
@@ -57,77 +124,189 @@ def smoke_parallel_cell() -> ParallelScaleCell:
     )
 
 
-def _server_builder(cell: ParallelScaleCell, local_indices: list[int]):
-    def build(ctx) -> None:
+def n1024_parallel_cell(*, smoke: bool = False) -> ParallelScaleCell:
+    """The thousand-node cell: 1024 server nodes + 8 client nodes.
+
+    Single-ES handler pools, dozens of concurrent ULTs per client, a
+    4-key hot range, and a 100 us RPC deadline: the hot owners'
+    handler queues grow past the deadline, timed-out requests are
+    retried into the backlog, and the storm sustains itself until the
+    hot phase drains.  ``smoke`` shrinks the per-ULT op counts (CI
+    wall-clock), not the fleet.
+    """
+    return ParallelScaleCell(
+        n_servers=1024,
+        server_lps=4,
+        n_clients=8,
+        keys_per_client=2 if smoke else 6,
+        ults_per_client=12 if smoke else 16,
+        hot_keys=4,
+        hot_puts=8 if smoke else 16,
+        rpc_timeout=100e-6,
+        n_handler_es=1,
+        monitor_interval=500e-6,
+        expect_storm=True,
+    )
+
+
+# -- automatic partitioning ------------------------------------------------
+
+
+def build_parallel_scale_topology(
+    cell: ParallelScaleCell, *, seed: int = 0
+) -> ClusterTopology:
+    """The deployed shape of one cell, ready for ``from_topology``.
+
+    Server nodes are weighted by the shards the consistent-hash
+    placement puts on them at ``seed``; each client node's weight is
+    its share of the total key traffic (the whole client side weighs
+    as much as the whole shard space), so the greedy bin-packing
+    spreads clients first and balances server nodes around them.
+    """
+    from ..shard import ShardedKVService
+
+    n_shards = 2 * cell.n_servers
+    groups = list(
+        ShardedKVService.topology_groups(cell.n_servers, seed=seed)
+    )
+    client_weight = n_shards / cell.n_clients
+    groups += [
+        NodeGroup(f"cnode{c:02d}", weight=client_weight)
+        for c in range(cell.n_clients)
+    ]
+    return ClusterTopology(
+        groups=tuple(groups),
+        builder=_topology_builder(cell),
+        name=f"parallel_scale:{cell.name}",
+    )
+
+
+def _topology_builder(cell: ParallelScaleCell):
+    """One builder for any LP: deploys whatever node groups the
+    bin-packing assigned -- a server slice, client processes, or a mix
+    (clients colocated with servers route to local endpoints without
+    any boundary traffic)."""
+
+    def build(ctx, local_names: list[str]) -> None:
         from ..shard import ShardedKVService
 
+        server_nodes = [n for n in local_names if n.startswith("snode")]
+        local_clients = sorted(
+            int(n[5:]) for n in local_names if n.startswith("cnode")
+        )
+        local_client_set = set(local_clients)
+        # Every LP knows where the other side's processes live: server
+        # responses target client addrs, and the router forwards to
+        # server addrs (deploy_partition/make_partition_router declare
+        # the server side; both declarations are idempotent).
         for c in range(cell.n_clients):
-            ctx.register_remote(f"scli{c:02d}", f"cnode{c:02d}")
-        ShardedKVService.deploy_partition(
-            ctx, cell.n_servers, local_indices, n_handler_es=2
+            if c not in local_client_set:
+                ctx.register_remote(f"scli{c:02d}", f"cnode{c:02d}")
+        if server_nodes:
+            indices = ShardedKVService.servers_on_nodes(
+                cell.n_servers, server_nodes
+            )
+            ShardedKVService.deploy_partition(
+                ctx,
+                cell.n_servers,
+                indices,
+                n_handler_es=cell.n_handler_es,
+            )
+        if local_clients:
+            _build_clients(ctx, cell, local_clients)
+
+    return build
+
+
+def _build_clients(ctx, cell: ParallelScaleCell, client_ids: list[int]):
+    from ..shard import ShardedKVService
+
+    sim = ctx.cluster.sim
+    done = sim.event("parallel-scale-done")
+    ctx.set_done(done)
+    n_bodies = len(client_ids) * cell.ults_per_client
+    state = {
+        "remaining": n_bodies,
+        "rpcs_ok": 0,
+        "hot_ok": 0,
+        "timeouts": 0,
+        "retries": 0,
+    }
+
+    def attempt(mi, op, *args):
+        """Run one router op, absorbing timeout storms with bounded
+        exponential-backoff retries (counted, never silent)."""
+        backoff = _RETRY_BACKOFF
+        for _ in range(_RETRY_BUDGET):
+            try:
+                out = yield from op(*args)
+                return out
+            except MargoTimeoutError:
+                state["timeouts"] += 1
+                state["retries"] += 1
+                yield from mi.rt.sleep(backoff)
+                backoff = min(backoff * 2.0, _RETRY_BACKOFF_CAP)
+        raise AssertionError(
+            f"op {args[:1]} still timing out after {_RETRY_BUDGET} attempts"
         )
 
-    return build
+    for c in client_ids:
+        mi = ctx.process(f"scli{c:02d}", f"cnode{c:02d}")
+        router = ShardedKVService.make_partition_router(
+            ctx, mi, cell.n_servers, rpc_timeout=cell.rpc_timeout
+        )
 
+        for u in range(cell.ults_per_client):
 
-def _client_builder(cell: ParallelScaleCell):
-    def build(ctx) -> None:
-        from ..shard import ShardedKVService
-
-        sim = ctx.cluster.sim
-        done = sim.event("parallel-scale-done")
-        ctx.set_done(done)
-        remaining = {"n": cell.n_clients}
-        ok = {"n": 0}
-
-        for c in range(cell.n_clients):
-            mi = ctx.process(f"scli{c:02d}", f"cnode{c:02d}")
-            router = ShardedKVService.make_partition_router(
-                ctx, mi, cell.n_servers
-            )
-
-            def body(c=c, router=router):
+            def body(c=c, u=u, mi=mi, router=router):
                 for i in range(cell.keys_per_client):
-                    key = f"c{c:02d}k{i:03d}"
-                    yield from router.put(key, f"v{c}:{i}")
-                    ok["n"] += 1
+                    key = f"c{c:02d}u{u:02d}k{i:03d}"
+                    yield from attempt(mi, router.put, key, f"v{c}:{u}:{i}")
+                    state["rpcs_ok"] += 1
                 for i in range(cell.keys_per_client):
-                    key = f"c{c:02d}k{i:03d}"
-                    value = yield from router.get(key)
-                    assert value == f"v{c}:{i}"
-                    ok["n"] += 1
-                remaining["n"] -= 1
-                if remaining["n"] == 0:
-                    ctx.report["rpcs_ok"] = ok["n"]
+                    key = f"c{c:02d}u{u:02d}k{i:03d}"
+                    value = yield from attempt(mi, router.get, key)
+                    assert value == f"v{c}:{u}:{i}"
+                    state["rpcs_ok"] += 1
+                for i in range(cell.hot_puts):
+                    key = f"hot{i % cell.hot_keys:03d}"
+                    yield from attempt(
+                        mi, router.put, key, f"h{c}:{u}:{i}"
+                    )
+                    state["hot_ok"] += 1
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    ctx.report["rpcs_ok"] = state["rpcs_ok"]
+                    ctx.report["hot_ok"] = state["hot_ok"]
+                    ctx.report["rpc_timeouts"] = state["timeouts"]
+                    ctx.report["rpc_retries"] = state["retries"]
                     done.succeed(sim.now)
 
-            mi.client_ult(body(), name=f"par-scale-{c:02d}")
-
-    return build
+            mi.client_ult(body(), name=f"par-scale-{c:02d}-{u:02d}")
 
 
 def build_parallel_scale_plan(
     cell: ParallelScaleCell, *, seed: int = 0, collect: bool = True
 ) -> PartitionPlan:
-    from ..shard import ShardedKVService
-
-    parts = ShardedKVService.partition_servers(cell.n_servers, cell.server_lps)
-    lps = [
-        LPSpec(f"servers{lp}", _server_builder(cell, list(indices)))
-        for lp, indices in enumerate(parts)
-    ]
-    lps.append(LPSpec("clients", _client_builder(cell)))
-    return PartitionPlan(
-        lps=lps,
+    """Derive the partitioned plan for ``cell`` -- automatic topology
+    partitioning into ``cell.server_lps + 1`` LPs.  The LP count is a
+    cell property, not a run-time worker count, so the same plan (and
+    therefore the same digests) executes under any ``--workers``."""
+    topology = build_parallel_scale_topology(cell, seed=seed)
+    return PartitionPlan.from_topology(
+        topology,
+        cell.server_lps + 1,
         seed=seed,
-        fabric_config=FabricConfig(),
+        fabric_config=FabricConfig(
+            jitter_sigma=cell.jitter_sigma, jitter_bound=cell.jitter_bound
+        ),
+        limit=cell.limit,
         cluster_kw=dict(
             stage=Stage.FULL,
-            monitoring=MonitorConfig(interval=50e-6),
+            monitoring=MonitorConfig(interval=cell.monitor_interval),
             validate=ValidationConfig(strict=True),
         ),
         collect=collect,
-        name=f"parallel_scale:{cell.name}",
     )
 
 
@@ -153,18 +332,30 @@ class ParallelScaleResult:
     def timing(self) -> dict[str, float]:
         return self.result.timing()
 
+    def _sum_extra(self, key: str) -> int:
+        return sum(r["extra"].get(key, 0) for r in self.result.lp_reports)
+
     def check_invariants(self) -> None:
         """Acceptance gate: the workload finished, every RPC landed,
-        nothing leaked, and no boundary event was stranded."""
-        expected = 2 * self.cell.n_clients * self.cell.keys_per_client
+        nothing leaked, no boundary event was stranded -- and, for
+        storm cells, the timeout storm deterministically happened."""
         problems = []
         if not self.result.done:
             problems.append("workload did not complete")
-        rpcs = sum(
-            r["extra"].get("rpcs_ok", 0) for r in self.result.lp_reports
-        )
-        if rpcs != expected:
-            problems.append(f"rpcs_ok {rpcs} != expected {expected}")
+        rpcs = self._sum_extra("rpcs_ok")
+        if rpcs != self.cell.total_unique_ops:
+            problems.append(
+                f"rpcs_ok {rpcs} != expected {self.cell.total_unique_ops}"
+            )
+        hot = self._sum_extra("hot_ok")
+        if hot != self.cell.total_hot_ops:
+            problems.append(
+                f"hot_ok {hot} != expected {self.cell.total_hot_ops}"
+            )
+        if self.cell.expect_storm and self._sum_extra("rpc_timeouts") == 0:
+            problems.append(
+                "expected a timeout storm, saw zero forward timeouts"
+            )
         for r in self.result.lp_reports:
             if r["violations"]:
                 problems.append(

@@ -94,6 +94,14 @@ class FabricConfig(Replaceable):
     #: Lognormal jitter applied multiplicatively to the latency term;
     #: 0 disables jitter (fully deterministic wire times).
     jitter_sigma: float = 0.0
+    #: Bounded-jitter floor: with ``jitter_bound > 0`` the sampled
+    #: jitter can never shave more than this many seconds off a
+    #: latency term (truncated sampling, ``max(lat - bound, lat * m)``),
+    #: which restores a positive cross-node wire-time lower bound
+    #: ``latency - jitter_bound`` -- the lookahead the conservative
+    #: parallel kernel needs.  0 leaves the jitter unbounded below
+    #: (the classic lognormal model), which partitioned runs reject.
+    jitter_bound: float = 0.0
     #: Probability that a two-sided message is silently dropped (failure
     #: injection; requires an RNG).  RDMA operations are not dropped --
     #: hardware reliable transport.
@@ -106,6 +114,14 @@ class FabricConfig(Replaceable):
             raise ValueError("bandwidth must be positive")
         if self.jitter_sigma < 0:
             raise ValueError("jitter_sigma must be non-negative")
+        if self.jitter_bound < 0:
+            raise ValueError("jitter_bound must be non-negative")
+        if self.jitter_bound > 0 and self.jitter_bound >= self.latency:
+            raise ValueError(
+                f"jitter_bound={self.jitter_bound} must stay below the "
+                f"cross-node latency ({self.latency}); the truncated floor "
+                "latency - jitter_bound must remain positive"
+            )
         if not 0.0 <= self.drop_rate < 1.0:
             raise ValueError("drop_rate must be in [0, 1)")
 
@@ -117,20 +133,29 @@ class FabricConfig(Replaceable):
         nodes in different logical processes cannot arrive before
         ``t + min_cross_node_latency()``, so every LP may safely
         execute the window ``[T, T + lookahead)`` without hearing from
-        its peers.  Raises :class:`ValueError` when the configuration
-        admits wire times below the floor -- lognormal jitter has no
-        positive lower bound (``exp(normal)`` can shrink the latency
-        term arbitrarily), so no valid lookahead exists under
-        ``jitter_sigma > 0`` -- or when the floor is zero, which would
-        make conservative windows unable to advance time at all.
+        its peers.
+
+        With ``jitter_sigma > 0`` a floor only exists when a
+        ``jitter_bound`` is declared: the lognormal multiplier alone has
+        no positive lower bound, but truncated sampling clamps every
+        jittered latency at ``latency - jitter_bound``, so that
+        difference is the lookahead.  Raises :class:`ValueError` for a
+        jittered config without a bound, or when the floor would be
+        zero, which would make conservative windows unable to advance
+        time at all.
         """
         if self.jitter_sigma > 0:
-            raise ValueError(
-                f"jitter_sigma={self.jitter_sigma} admits wire times below "
-                "the latency floor (the lognormal multiplier has no "
-                "positive lower bound); a conservative lookahead does not "
-                "exist -- disable jitter for partitioned runs"
-            )
+            if self.jitter_bound <= 0:
+                raise ValueError(
+                    f"jitter_sigma={self.jitter_sigma} admits wire times "
+                    "below the latency floor (the lognormal multiplier has "
+                    "no positive lower bound); declare a jitter_bound > 0 "
+                    "(truncated sampling) or disable jitter for "
+                    "partitioned runs"
+                )
+            # __post_init__ guarantees jitter_bound < latency, so the
+            # truncated floor is positive by construction.
+            return self.latency - self.jitter_bound
         if self.latency <= 0:
             raise ValueError(
                 "latency must be positive to derive a conservative "
@@ -235,9 +260,17 @@ class Fabric:
         lat = self.config.intra_node_latency if same else self.config.latency
         bw = self.config.intra_node_bandwidth if same else self.config.bandwidth
         if self.config.jitter_sigma > 0 and self._rng is not None:
-            lat *= float(
+            jittered = lat * float(
                 np.exp(self._rng.normal(0.0, self.config.jitter_sigma))
             )
+            if self.config.jitter_bound > 0:
+                # Truncated sampling: the fast tail is clamped at
+                # lat - jitter_bound (the conservative lookahead floor);
+                # the slow tail stays unbounded.  The RNG draw happens
+                # either way, so jitter_bound only changes wire times it
+                # actually clips.
+                jittered = max(lat - self.config.jitter_bound, jittered)
+            lat = jittered
         return lat + size_bytes / bw
 
     # -- two-sided send ---------------------------------------------------------
@@ -332,14 +365,16 @@ class Fabric:
     ) -> float:
         """Ship ``msg`` toward an endpoint owned by another LP.
 
-        The wire time is computed *here*, deterministically (the plan
-        validator rejects jittered configs), and the message rides the
-        boundary outbox with its precomputed arrival instant; the
-        receiving LP injects it with :meth:`inject_remote`.  Cross-LP
-        links are always inter-node (the partitioner never splits a
-        node), so the inter-node latency -- the kernel's lookahead --
-        bounds ``recv_ts - send_ts`` from below even under fault-rule
-        delay spikes (validated non-negative).
+        The wire time is computed *here*, on the sender's fabric RNG
+        (deterministic given the LP's event schedule, which the kernel
+        pins across worker counts), and the message rides the boundary
+        outbox with its precomputed arrival instant; the receiving LP
+        injects it with :meth:`inject_remote`.  Cross-LP links are
+        always inter-node (the partitioner never splits a node), so the
+        inter-node latency -- truncated at ``latency - jitter_bound``
+        under bounded jitter, i.e. the kernel's lookahead -- bounds
+        ``recv_ts - send_ts`` from below even under fault-rule delay
+        spikes (validated non-negative).
         """
         self.total_messages += 1
         self.total_bytes += msg.size_bytes
@@ -472,7 +507,15 @@ class Fabric:
         # Request travels one way, data comes back: 2x latency + payload.
         delay = 2 * lat + size_bytes / bw
         if self.config.jitter_sigma > 0 and self._rng is not None:
-            delay *= float(np.exp(self._rng.normal(0.0, self.config.jitter_sigma)))
+            jittered = delay * float(
+                np.exp(self._rng.normal(0.0, self.config.jitter_sigma))
+            )
+            if self.config.jitter_bound > 0:
+                # Same truncated model as wire_time (RDMA never
+                # constrains the lookahead -- no boundary event -- but
+                # the sampling model stays uniform across paths).
+                jittered = max(delay - self.config.jitter_bound, jittered)
+            delay = jittered
         done_at = self.sim.now + delay
         self.inflight_bytes += size_bytes
         if on_complete is not None:

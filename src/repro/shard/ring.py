@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import heapq
 from typing import Iterable
 
 __all__ = ["HashRing", "h64"]
@@ -54,20 +55,31 @@ class HashRing:
     def _token(self, addr: str, vnode: int) -> int:
         return h64(f"{addr}#{vnode}#{self.seed}")
 
+    def _vnode_pairs(self, addr: str, count: int) -> list[tuple[int, str]]:
+        return sorted((self._token(addr, v), addr) for v in range(count))
+
+    def _set_pairs(self, pairs: list[tuple[int, str]]) -> None:
+        # The ring invariant: sorted by (token, owner address) -- the
+        # address tie-break keeps sha256 token collisions (out of
+        # scope, but cheap to order) independent of insertion order.
+        self._tokens = [t for t, _ in pairs]
+        self._owners = [o for _, o in pairs]
+
     def add_node(self, addr: str, weight: float = 1.0) -> None:
         if addr in self._nodes:
             raise ValueError(f"{addr!r} already on ring")
         count = max(1, round(self.vnodes * weight))
         self._nodes[addr] = count
-        for v in range(count):
-            token = self._token(addr, v)
-            i = bisect.bisect_left(self._tokens, token)
-            # sha256 collisions are out of scope; break ties by address
-            # so insertion order can't leak into placement.
-            while i < len(self._tokens) and self._tokens[i] == token and self._owners[i] < addr:
-                i += 1
-            self._tokens.insert(i, token)
-            self._owners.insert(i, addr)
+        # One sorted merge instead of per-token list.insert: O(N + V)
+        # for the incremental churn path.
+        self._set_pairs(
+            list(
+                heapq.merge(
+                    zip(self._tokens, self._owners),
+                    self._vnode_pairs(addr, count),
+                )
+            )
+        )
 
     def remove_node(self, addr: str) -> None:
         if addr not in self._nodes:
@@ -78,12 +90,26 @@ class HashRing:
         self._owners = [o for _, o in keep]
 
     def replace(self, members: Iterable[str]) -> None:
-        """Reset the ring to exactly ``members`` (weight 1 each)."""
+        """Reset the ring to exactly ``members`` (weight 1 each).
+
+        Bulk path: every (token, address) pair is generated once and
+        sorted globally -- identical placement to repeated
+        :meth:`add_node` (same sort key, same tie-break) but O(NV log
+        NV) instead of the O((NV)^2) element moves of per-token list
+        inserts, which dominated ring construction at thousand-node
+        fleets (every router and LP builds its own ring).
+        """
         self._nodes = {}
-        self._tokens = []
-        self._owners = []
+        pairs: list[tuple[int, str]] = []
         for addr in members:
-            self.add_node(addr)
+            if addr in self._nodes:
+                raise ValueError(f"{addr!r} already on ring")
+            self._nodes[addr] = self.vnodes
+            pairs.extend(
+                (self._token(addr, v), addr) for v in range(self.vnodes)
+            )
+        pairs.sort()
+        self._set_pairs(pairs)
 
     # -- lookup ------------------------------------------------------------
 

@@ -454,6 +454,61 @@ class ShardedKVService:
         return parts
 
     @classmethod
+    def topology_groups(
+        cls,
+        n_servers: int,
+        *,
+        seed: int = 0,
+        n_shards: Optional[int] = None,
+        vnodes: int = 32,
+        servers_per_node: int = 1,
+    ) -> list:
+        """Traffic-weighted node groups for automatic partitioning.
+
+        One :class:`~repro.sim.parallel.NodeGroup` per server node,
+        weighted by the number of shards the consistent-hash placement
+        puts on that node at ``seed`` -- the shard map is the best
+        static proxy for the traffic the node will carry, so
+        :meth:`PartitionPlan.from_topology
+        <repro.sim.parallel.PartitionPlan.from_topology>` balances
+        LPs by expected load instead of node count.
+        """
+        from ..sim.parallel.topology import NodeGroup
+
+        if n_shards is None:
+            n_shards = 2 * n_servers
+        spn = max(1, servers_per_node)
+        servers = [f"kv{i:03d}" for i in range(n_servers)]
+        ring = HashRing(seed=seed, vnodes=vnodes)
+        ring.replace(servers)
+        shard_map = ShardMap.build(ring, n_shards)
+        shards_per_node: dict[str, int] = {
+            f"snode{i // spn:03d}": 0 for i in range(n_servers)
+        }
+        for owner in shard_map.owners:
+            shards_per_node[f"snode{int(owner[2:]) // spn:03d}"] += 1
+        return [
+            NodeGroup(name, weight=float(w))
+            for name, w in sorted(shards_per_node.items())
+        ]
+
+    @staticmethod
+    def servers_on_nodes(
+        n_servers: int,
+        node_names: list[str],
+        *,
+        servers_per_node: int = 1,
+    ) -> list[int]:
+        """Server indices hosted on the named ``snodeNNN`` nodes --
+        the bridge from a topology builder's local group names to
+        :meth:`deploy_partition`'s index slice."""
+        spn = max(1, servers_per_node)
+        wanted = set(node_names)
+        return [
+            i for i in range(n_servers) if f"snode{i // spn:03d}" in wanted
+        ]
+
+    @classmethod
     def deploy_partition(
         cls,
         ctx,
@@ -489,11 +544,12 @@ class ShardedKVService:
         servers = [f"kv{i:03d}" for i in range(n_servers)]
         nodes = [f"snode{i // spn:03d}" for i in range(n_servers)]
         local = sorted(set(local_indices))
+        local_set = set(local)
         providers: dict[str, ShardKvProvider] = {}
         bake_providers: dict[str, BakeProvider] = {}
         group = SSGGroup(group_name, servers)
         for i in range(n_servers):
-            if i in set(local):
+            if i in local_set:
                 mi = ctx.process(servers[i], nodes[i], **process_kw)
                 provider = ShardKvProvider(mi, cls.PID_KV, backend=backend)
                 replica = SSGGroup(group_name, servers)
@@ -535,16 +591,23 @@ class ShardedKVService:
         group_name: str = "shard-kv",
         rpc_timeout: float = 2e-3,
     ):
-        """Client-side router for a client LP: registers every server
-        as a remote peer and builds the placement map from the shared
-        seed alone -- no server object ever crosses the LP boundary."""
+        """Client-side router for an LP holding clients: registers
+        every *non-local* server as a remote peer and builds the
+        placement map from the shared seed alone -- no server object
+        ever crosses the LP boundary.  Servers the LP itself deployed
+        (an auto-partitioned LP may colocate clients with a server
+        slice) are skipped: they are already local endpoints."""
         from .router import ShardRouter
 
         if n_shards is None:
             n_shards = 2 * n_servers
         spn = max(1, servers_per_node)
+        local_addrs = ctx.local_addrs
         for i in range(n_servers):
-            ctx.register_remote(f"kv{i:03d}", f"snode{i // spn:03d}")
+            addr = f"kv{i:03d}"
+            if addr in local_addrs:
+                continue
+            ctx.register_remote(addr, f"snode{i // spn:03d}")
         replica = SSGGroup(group_name, [f"kv{i:03d}" for i in range(n_servers)])
         return ShardRouter(
             mi,

@@ -17,6 +17,10 @@ Entry points:
 * :func:`run_partitioned` -- execute a :class:`PartitionPlan` with
   ``workers`` OS processes (``workers=1`` runs the identical window
   schedule in-process; single-LP plans always fall back to it).
+* :meth:`PartitionPlan.from_topology` -- derive the LP partition
+  automatically from a :class:`ClusterTopology` via traffic-weighted
+  greedy bin-packing; hand-written :class:`LPSpec` lists remain the
+  explicit override.
 * ``verify=True`` -- run the serial reference and the parallel
   execution of the same plan and assert byte-identical digests.
 
@@ -24,7 +28,7 @@ See ``docs/performance.md`` (section 7) for the partitioning rules,
 the lookahead derivation, and the non-goals.
 """
 
-from .channel import BoundaryEvent, inbound_order
+from .channel import BoundaryBatch, BoundaryEvent, inbound_order
 from .kernel import (
     KernelError,
     ParallelRunResult,
@@ -33,16 +37,21 @@ from .kernel import (
 )
 from .lp import LPContext, LPRuntime
 from .partition import LPSpec, PartitionPlan
+from .topology import ClusterTopology, NodeGroup, greedy_assign
 
 __all__ = [
+    "BoundaryBatch",
     "BoundaryEvent",
+    "ClusterTopology",
     "KernelError",
     "LPContext",
     "LPRuntime",
     "LPSpec",
+    "NodeGroup",
     "ParallelRunResult",
     "ParallelVerifyError",
     "PartitionPlan",
+    "greedy_assign",
     "inbound_order",
     "run_partitioned",
 ]

@@ -8,13 +8,32 @@ routes events between LPs and every receiver injects its inbound batch
 in the *canonical order* ``(recv_ts, src_lp, seq)`` -- the same total
 order regardless of how many OS processes carried the LPs, which is
 what makes the parallel schedule byte-identical to the serial one.
+
+At scale the per-event pickle becomes the boundary channel's hot path,
+so the wire format is a :class:`BoundaryBatch`: one object per
+(window, src LP -> dst LP) pair carrying the hot numeric fields
+(``seq``, ``send_ts``, ``recv_ts``) as compact typed arrays and the
+message payloads as one list.  A batch round-trips through pickle as a
+single object -- one header instead of N -- and expands back to the
+exact same :class:`BoundaryEvent` sequence on the receiving side, so
+the canonical injection order, the byte ledger, and the run digests
+are untouched by batching.
 """
 
 from __future__ import annotations
 
 import pickle
+from array import array
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable, Iterator, Union
+
+__all__ = [
+    "BoundaryBatch",
+    "BoundaryEvent",
+    "as_events",
+    "inbound_order",
+    "pickle_roundtrip",
+]
 
 
 @dataclass(frozen=True)
@@ -32,16 +51,101 @@ class BoundaryEvent:
         return (self.recv_ts, self.src_lp, self.seq)
 
 
-def inbound_order(events: list[BoundaryEvent]) -> list[BoundaryEvent]:
+@dataclass(frozen=True)
+class BoundaryBatch:
+    """All boundary events of one (window, src LP -> dst LP) channel.
+
+    Columnar: the three hot numeric fields live in typed arrays
+    (``'q'`` for sequence numbers, ``'d'`` for timestamps) and pickle
+    as flat machine buffers; only the payload objects take the generic
+    pickle path.  Construction is via :meth:`from_events`, which
+    requires a uniform, already seq-ordered (src, dst) event run --
+    exactly what the LP outbox drain produces.
+    """
+
+    src_lp: int
+    dst_lp: int
+    seqs: array
+    send_ts: array
+    recv_ts: array
+    msgs: tuple
+
+    @classmethod
+    def from_events(cls, events: list[BoundaryEvent]) -> "BoundaryBatch":
+        if not events:
+            raise ValueError("a BoundaryBatch cannot be empty")
+        src, dst = events[0].src_lp, events[0].dst_lp
+        for ev in events:
+            if ev.src_lp != src or ev.dst_lp != dst:
+                raise ValueError(
+                    f"mixed channels in one batch: ({ev.src_lp}->{ev.dst_lp})"
+                    f" vs ({src}->{dst})"
+                )
+        return cls(
+            src_lp=src,
+            dst_lp=dst,
+            seqs=array("q", (ev.seq for ev in events)),
+            send_ts=array("d", (ev.send_ts for ev in events)),
+            recv_ts=array("d", (ev.recv_ts for ev in events)),
+            msgs=tuple(ev.msg for ev in events),
+        )
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    def events(self) -> Iterator[BoundaryEvent]:
+        """Expand back to the exact event sequence the batch encodes."""
+        src, dst = self.src_lp, self.dst_lp
+        for seq, send_ts, recv_ts, msg in zip(
+            self.seqs, self.send_ts, self.recv_ts, self.msgs
+        ):
+            yield BoundaryEvent(
+                src_lp=src,
+                dst_lp=dst,
+                seq=seq,
+                send_ts=send_ts,
+                recv_ts=recv_ts,
+                msg=msg,
+            )
+
+    def min_recv_ts(self) -> float:
+        # Within one channel the drain assigns seqs in send order and
+        # FIFO wire times are non-decreasing only without jitter, so
+        # scan rather than trust element 0.
+        return min(self.recv_ts)
+
+    def total_bytes(self) -> int:
+        return sum(msg.size_bytes for msg in self.msgs)
+
+
+#: What a boundary transport hands an LP: loose events (tests, the
+#: explicit API) or channel batches (the kernel's wire format).
+Inbound = Union[BoundaryEvent, BoundaryBatch]
+
+
+def as_events(inbound: Iterable[Inbound]) -> list[BoundaryEvent]:
+    """Flatten a mixed event/batch list into loose boundary events."""
+
+    out: list[BoundaryEvent] = []
+    for item in inbound:
+        if isinstance(item, BoundaryBatch):
+            out.extend(item.events())
+        else:
+            out.append(item)
+    return out
+
+
+def inbound_order(events: Iterable[Inbound]) -> list[BoundaryEvent]:
     """Canonical injection order for one LP's inbound batch."""
 
-    return sorted(events, key=BoundaryEvent.sort_key)
+    return sorted(as_events(events), key=BoundaryEvent.sort_key)
 
 
-def pickle_roundtrip(events: list[BoundaryEvent]) -> list[BoundaryEvent]:
-    """Copy events through pickle, exactly as a process pipe would.
+def pickle_roundtrip(events: list) -> list:
+    """Copy events or batches through pickle, exactly as a process
+    pipe would.
 
-    The in-process (serial) executor routes boundary events through
+    The in-process (serial) executor routes boundary traffic through
     this so both executors hand the receiver a private copy: a handler
     that mutated a request payload in place would otherwise alias the
     sender's object in serial mode but not in multiprocessing mode,

@@ -11,8 +11,10 @@ byte-identical regardless of how many OS processes carry the LPs:
    are jumped, never stepped through),
 2. *window*: ``[floor, floor + lookahead)`` executes on every LP
    (events strictly before the end),
-3. *barrier*: outboxes drain into seq-numbered boundary events, the
-   kernel routes them, and the next floor is computed.
+3. *barrier*: outboxes drain into seq-numbered boundary events framed
+   as per-(src, dst) columnar :class:`~repro.sim.parallel.channel.
+   BoundaryBatch` objects, the kernel routes the batches, and the next
+   floor is computed.
 
 Conservative safety: a message sent at ``s`` inside the window arrives
 no earlier than ``s + lookahead >= floor + lookahead`` = the window
@@ -32,11 +34,12 @@ deterministic report; wall-clock timing never does.
 from __future__ import annotations
 
 import hashlib
+import sys
 import time
 from typing import Any, Optional
 
 from ...symbiosys.metrics import MetricsRegistry, SeriesStore
-from .channel import BoundaryEvent, pickle_roundtrip
+from .channel import BoundaryBatch, pickle_roundtrip
 from .lp import LPRuntime
 from .partition import PartitionPlan
 
@@ -96,7 +99,7 @@ class _SerialExecutor:
         self,
         start: float,
         end: float,
-        inbound: dict[int, list[BoundaryEvent]],
+        inbound: dict[int, list[BoundaryBatch]],
     ) -> dict[int, dict]:
         out = {}
         for rt in self._runtimes:
@@ -206,7 +209,7 @@ class _ProcessExecutor:
         self,
         start: float,
         end: float,
-        inbound: dict[int, list[BoundaryEvent]],
+        inbound: dict[int, list[BoundaryBatch]],
     ) -> dict[int, dict]:
         for w, conn in enumerate(self._conns):
             batch = {
@@ -456,6 +459,12 @@ def _run_with_executor(
         "kernel_barrier_wait_frac",
         help="fraction of aggregate worker wall-time spent at barriers",
     )
+    serial_fallback = registry.gauge(
+        "kernel_serial_fallback",
+        help="1 when a multi-worker request degraded to the serial "
+        "executor (single-LP plan, no fork), else 0",
+    )
+    serial_fallback.set(1.0 if fallback else 0.0)
     t_start = time.perf_counter()
     busy_wall = 0.0
     round_wall = 0.0
@@ -472,7 +481,7 @@ def _run_with_executor(
             i: infos[i]["next_ts"] for i in infos
         }
         done: dict[int, bool] = {i: not infos[i]["has_done"] for i in infos}
-        pending: dict[int, list[BoundaryEvent]] = {i: [] for i in infos}
+        pending: dict[int, list[BoundaryBatch]] = {i: [] for i in infos}
         quiesce_end: Optional[float] = None
         n_windows = 0
         n_boundary = 0
@@ -480,7 +489,9 @@ def _run_with_executor(
         while True:
             candidates = [t for t in next_ts.values() if t is not None]
             candidates += [
-                ev.recv_ts for events in pending.values() for ev in events
+                batch.min_recv_ts()
+                for batches in pending.values()
+                for batch in batches
             ]
             if not candidates:
                 break  # fully idle everywhere
@@ -513,9 +524,9 @@ def _run_with_executor(
                 rep = reports[lp_id]
                 next_ts[lp_id] = rep["next_ts"]
                 done[lp_id] = done[lp_id] or rep["done"]
-                for ev in rep["outbound"]:
-                    pending[ev.dst_lp].append(ev)
-                    n_routed += 1
+                for batch in rep["outbound"]:
+                    pending[batch.dst_lp].append(batch)
+                    n_routed += len(batch)
             n_windows += 1
             n_boundary += n_routed
 
@@ -539,7 +550,9 @@ def _run_with_executor(
         # A limit-break can leave routed-but-undelivered events; they
         # count against the exported side of the ledger below.
         undelivered_bytes = sum(
-            ev.msg.size_bytes for events in pending.values() for ev in events
+            batch.total_bytes()
+            for batches in pending.values()
+            for batch in batches
         )
         finish = executor.finish()
     finally:
@@ -597,6 +610,15 @@ def run_partitioned(
         fallback = "single-LP plan"
     elif workers > 1 and not _fork_available():
         fallback = "no fork start method"
+
+    if fallback is not None:
+        # Degrading is correct (the schedule is identical) but never
+        # silent: the caller asked for parallelism it will not get.
+        print(
+            f"repro.sim.parallel: {workers} worker(s) requested but "
+            f"running serially ({fallback})",
+            file=sys.stderr,
+        )
 
     if workers > 1 and fallback is None:
         result = _run_with_executor(

@@ -9,8 +9,9 @@ kernel:
    src_lp, seq)`` order via :meth:`Fabric.inject_remote`,
 2. execute every local event strictly before the window end
    (:meth:`Simulator.run_window`),
-3. drain the fabric's ``boundary_outbox`` into seq-numbered
-   :class:`~repro.sim.parallel.channel.BoundaryEvent` objects, and
+3. drain the fabric's ``boundary_outbox`` into seq-numbered events
+   grouped as per-destination
+   :class:`~repro.sim.parallel.channel.BoundaryBatch` objects, and
 4. report the next local event time and the done flag, so the kernel
    can pick the next window floor.
 
@@ -25,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ...cluster import Cluster
-from .channel import BoundaryEvent, inbound_order
+from .channel import BoundaryBatch, BoundaryEvent, inbound_order
 from .partition import PartitionPlan
 
 __all__ = ["LPContext", "LPRuntime"]
@@ -89,6 +90,14 @@ class LPContext:
         """Hand the kernel this LP's workload-complete SimEvent."""
         self._rt.done_event = event
 
+    @property
+    def local_addrs(self) -> dict[str, str]:
+        """Addresses created in this LP so far (addr -> node).  Lets a
+        builder that deploys a mixed node set (e.g. an auto-partitioned
+        LP holding both servers and clients) tell local processes apart
+        from the remote peers it still has to register."""
+        return dict(self._rt.local_addrs)
+
     def spawn(self, fn: Callable, *args: Any):
         return self._rt.cluster.sim.spawn(fn, *args)
 
@@ -135,10 +144,15 @@ class LPRuntime:
         after the kernel validated the partition."""
         self._addr_to_lp = addr_to_lp
 
-    def window(
-        self, start: float, end: float, inbound: list[BoundaryEvent]
-    ) -> dict:
-        """Execute ``[start, end)``: inject, run, drain the outbox."""
+    def window(self, start: float, end: float, inbound: list) -> dict:
+        """Execute ``[start, end)``: inject, run, drain the outbox.
+
+        ``inbound`` may hold loose :class:`BoundaryEvent` objects,
+        :class:`BoundaryBatch` channel batches (the kernel's wire
+        format), or a mix; batches expand to their exact event
+        sequence before the canonical-order sort, so the injection
+        schedule is independent of how the transport framed them.
+        """
         sim = self.cluster.sim
         fabric = self.cluster.fabric
         for ev in inbound_order(inbound):
@@ -162,12 +176,22 @@ class LPRuntime:
             "events": processed,
         }
 
-    def _drain_outbox(self) -> list[BoundaryEvent]:
+    def _drain_outbox(self) -> list[BoundaryBatch]:
+        """Drain the window's boundary traffic into per-destination
+        channel batches.
+
+        Sequence numbers are assigned in global send order (exactly as
+        the per-event drain did), then events are grouped by
+        destination LP -- one columnar batch per (window, src->dst)
+        channel, emitted in ascending destination order.  Receivers
+        re-sort into canonical ``(recv_ts, src_lp, seq)`` order, so
+        the grouping is pure transport framing.
+        """
         fabric = self.cluster.fabric
-        out = []
+        per_dst: dict[int, list[BoundaryEvent]] = {}
         for send_ts, recv_ts, msg in fabric.boundary_outbox:
             dst_lp = self._addr_to_lp[msg.dst]
-            out.append(
+            per_dst.setdefault(dst_lp, []).append(
                 BoundaryEvent(
                     src_lp=self.lp_id,
                     dst_lp=dst_lp,
@@ -179,7 +203,10 @@ class LPRuntime:
             )
             self._next_seq += 1
         fabric.boundary_outbox.clear()
-        return out
+        return [
+            BoundaryBatch.from_events(per_dst[dst])
+            for dst in sorted(per_dst)
+        ]
 
     def finish(self) -> dict:
         """Shut the cluster down (full drain) and assemble the LP

@@ -17,11 +17,20 @@ Partitioning rules (validated at kernel init):
 * Every ``register_remote(addr, node)`` declaration must name a
   process that some other LP actually created, on the node it
   actually lives on.
-* ``jitter_sigma`` must be 0: a lognormal wire-time multiplier has no
-  positive lower bound, so no valid lookahead exists
-  (:meth:`~repro.net.FabricConfig.min_cross_node_latency` raises).
-  Delay faults are fine -- ``extra_delay`` is validated non-negative,
-  which can only push wire times *above* the floor.
+* ``jitter_sigma > 0`` needs a declared ``jitter_bound``: the raw
+  lognormal wire-time multiplier has no positive lower bound, but
+  truncated sampling clamps every latency at ``latency -
+  jitter_bound``, which becomes the lookahead
+  (:meth:`~repro.net.FabricConfig.min_cross_node_latency`; it raises
+  for jitter without a bound).  Delay faults are fine --
+  ``extra_delay`` is validated non-negative, which can only push wire
+  times *above* the floor.
+
+Plans are usually derived, not hand-written:
+:meth:`PartitionPlan.from_topology` packs a
+:class:`~repro.sim.parallel.topology.ClusterTopology` into LPs with a
+deterministic traffic-weighted greedy bin-packing.  Hand-declared
+``LPSpec`` lists remain the explicit override.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ...net import FabricConfig
+from .topology import ClusterTopology
 
 __all__ = ["LPSpec", "PartitionPlan"]
 
@@ -96,3 +106,39 @@ class PartitionPlan:
     @property
     def n_lps(self) -> int:
         return len(self.lps)
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: ClusterTopology,
+        workers: int,
+        **plan_kw: Any,
+    ) -> "PartitionPlan":
+        """Derive a plan from a deployed topology -- no hand-written
+        LP declarations.
+
+        ``workers`` is the *target* LP count (capped at the number of
+        node groups); it is baked into the plan, so executing the
+        result with any ``--workers`` value yields byte-identical
+        digests.  Each derived LP is named ``part<i>`` and runs
+        ``topology.builder(ctx, local_groups)`` with the sorted group
+        names the traffic-weighted greedy bin-packing assigned to it.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        assignment = topology.assign(workers)
+
+        def make_builder(local: list[str]) -> Callable[[Any], None]:
+            def build(ctx: Any) -> None:
+                topology.builder(ctx, local)
+
+            return build
+
+        plan_kw.setdefault("name", topology.name)
+        return cls(
+            lps=[
+                LPSpec(f"part{i}", make_builder(local))
+                for i, local in enumerate(assignment)
+            ],
+            **plan_kw,
+        )

@@ -1,0 +1,110 @@
+"""Automatic node-aligned partitioning from a deployed topology.
+
+PR 9's kernel required every experiment to hand-write its LP
+declarations -- which nodes go where, one builder per LP.  This module
+derives them instead: a :class:`ClusterTopology` describes the
+*deployed* shape of a run (one :class:`NodeGroup` per unsplittable
+placement unit, weighted by the traffic it is expected to carry --
+e.g. the shards a server node hosts) plus a single *topology builder*
+that can populate any subset of those groups inside one LP.
+:meth:`PartitionPlan.from_topology
+<repro.sim.parallel.partition.PartitionPlan.from_topology>` then packs
+the groups into LPs with a deterministic traffic-weighted greedy
+bin-packing and emits ordinary :class:`LPSpec` objects, so everything
+downstream (kernel, executors, digests) is unchanged.
+
+Determinism contract: the derived partition is a pure function of
+``(groups, n_lps)`` -- independent of dict ordering, wall clock, and
+the eventual ``--workers`` count used to *execute* the plan.  Baking
+the LP count into the plan (rather than reading it from the executor)
+is what keeps digests byte-identical across worker counts: the same
+plan runs under any ``--workers`` and produces the same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["ClusterTopology", "NodeGroup", "greedy_assign"]
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """One unsplittable placement unit of a deployed topology.
+
+    Usually one simulated node (the kernel's partition rule: a node
+    never spans two LPs).  ``weight`` is the group's expected traffic
+    share -- shards hosted, clients driven -- and steers the
+    bin-packing toward balanced LPs; the absolute scale is irrelevant.
+    """
+
+    name: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("NodeGroup needs a non-empty name")
+        if self.weight < 0:
+            raise ValueError(f"NodeGroup {self.name!r}: negative weight")
+
+
+def greedy_assign(
+    groups: Sequence[NodeGroup], n_lps: int
+) -> list[list[str]]:
+    """Pack ``groups`` into ``n_lps`` bins, heaviest first.
+
+    Longest-processing-time greedy: sort by ``(-weight, name)``, place
+    each group on the least-loaded LP (ties break toward the lowest LP
+    index).  Every group lands in exactly one bin and every bin is
+    returned (possibly empty only when ``n_lps > len(groups)``, which
+    :meth:`ClusterTopology.assign` never requests).  Within a bin the
+    group names are sorted, so builders see a canonical local list.
+    """
+    if n_lps < 1:
+        raise ValueError("n_lps must be >= 1")
+    order = sorted(groups, key=lambda g: (-g.weight, g.name))
+    loads = [0.0] * n_lps
+    bins: list[list[str]] = [[] for _ in range(n_lps)]
+    for g in order:
+        lp = min(range(n_lps), key=lambda i: (loads[i], i))
+        loads[lp] += g.weight
+        bins[lp].append(g.name)
+    return [sorted(b) for b in bins]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """The deployed shape of a run, ready for automatic partitioning.
+
+    ``builder(ctx, local_groups)`` populates one LP: it is called once
+    per derived LP with the LP's :class:`~repro.sim.parallel.lp.
+    LPContext` and the sorted names of the node groups that LP owns.
+    The builder must deploy each named group's processes on that
+    group's node(s) and declare everything else remote -- the node-
+    alignment the kernel validates at init follows from that
+    discipline plus the exactly-once group assignment this module
+    guarantees.
+    """
+
+    groups: tuple[NodeGroup, ...]
+    builder: Callable[[Any, list[str]], None]
+    name: str = "topology"
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("ClusterTopology needs at least one group")
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate group names: {names}")
+        object.__setattr__(self, "groups", tuple(self.groups))
+
+    @property
+    def total_weight(self) -> float:
+        return sum(g.weight for g in self.groups)
+
+    def assign(self, n_lps: int) -> list[list[str]]:
+        """Derived partition: group names per LP, never more LPs than
+        groups (an empty LP would just stall at every barrier)."""
+        n_lps = max(1, min(n_lps, len(self.groups)))
+        return greedy_assign(self.groups, n_lps)

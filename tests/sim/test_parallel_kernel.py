@@ -25,7 +25,7 @@ from repro.sim.parallel import (
     run_partitioned,
 )
 from repro.sim.parallel import kernel as kernel_mod
-from repro.sim.parallel.channel import pickle_roundtrip
+from repro.sim.parallel.channel import as_events, pickle_roundtrip
 from repro.net import FabricConfig
 
 N_RPCS = 8
@@ -136,12 +136,12 @@ def test_boundary_events_never_undercut_lookahead(monkeypatch):
     orig = kernel_mod._SerialExecutor.round
 
     def recording_round(self, start, end, inbound):
-        for events in inbound.values():
-            for ev in events:
+        for batches in inbound.values():
+            for ev in as_events(batches):
                 assert ev.recv_ts >= start
         out = orig(self, start, end, inbound)
         for rep in out.values():
-            captured.extend(rep["outbound"])
+            captured.extend(as_events(rep["outbound"]))
         return out
 
     monkeypatch.setattr(kernel_mod._SerialExecutor, "round", recording_round)
@@ -359,3 +359,133 @@ def test_limit_break_before_done_is_an_error():
 def test_workers_must_be_positive():
     with pytest.raises(ValueError, match="workers"):
         run_partitioned(echo_plan(), workers=0)
+
+
+def test_serial_fallback_is_noted_and_metered(capsys):
+    def solo(ctx):
+        ctx.process("p0", "nodeA")
+        done = ctx.cluster.sim.event("d")
+        ctx.cluster.sim.call_at(1e-6, done.succeed, 1e-6)
+        ctx.set_done(done)
+
+    plan = PartitionPlan(lps=[LPSpec("solo", solo)], name="solo")
+    result = run_partitioned(plan, workers=4)
+    err = capsys.readouterr().err
+    assert "4 worker(s) requested but running serially" in err
+    assert "single-LP plan" in err
+    assert result.registry.gauge("kernel_serial_fallback").value == 1.0
+
+    # A genuinely parallel run neither warns nor sets the gauge.
+    result = run_partitioned(echo_plan(), workers=2)
+    assert "running serially" not in capsys.readouterr().err
+    assert result.fallback is None
+    assert result.registry.gauge("kernel_serial_fallback").value == 0.0
+
+
+# -- bounded-jitter fabrics ------------------------------------------------
+
+
+def _jittered_config(sigma=0.5, bound=1e-6):
+    return FabricConfig(jitter_sigma=sigma, jitter_bound=bound)
+
+
+def test_jitter_bound_validation_and_lookahead():
+    config = _jittered_config()
+    assert config.min_cross_node_latency() == config.latency - 1e-6
+    with pytest.raises(ValueError, match="jitter_bound"):
+        FabricConfig(jitter_bound=-1e-9)
+    with pytest.raises(ValueError, match="below the cross-node latency"):
+        FabricConfig(jitter_sigma=0.2, jitter_bound=FabricConfig().latency)
+    # Declaring a bound without jitter is allowed and changes nothing.
+    plain = FabricConfig(jitter_bound=1e-6)
+    assert plain.min_cross_node_latency() == plain.latency
+
+
+def test_jittered_plan_digests_identical_across_worker_counts():
+    serial = run_partitioned(
+        echo_plan(fabric_config=_jittered_config()), workers=1
+    )
+    parallel = run_partitioned(
+        echo_plan(fabric_config=_jittered_config()), workers=2
+    )
+    assert parallel.fallback is None
+    assert serial.verify_mismatches(parallel) == []
+    assert serial.digests() == parallel.digests()
+
+
+class _DelaySpiker:
+    """Fault hook that adds a latency spike to every cross-node
+    message -- the jitter x fault interaction under test."""
+
+    def __init__(self, extra_delay):
+        self.extra_delay = extra_delay
+
+    def on_message(self, msg, src_ep, dst_ep):
+        from repro.net import WireFault
+
+        return WireFault(extra_delay=self.extra_delay)
+
+    def on_rdma(self, ini_ep, rem_ep):
+        return False
+
+
+def test_jitter_truncation_holds_under_wire_faults(monkeypatch):
+    """Regression: with jitter_sigma > 0 the truncated floor (latency -
+    jitter_bound) is the lookahead, and a WireFault latency spike can
+    only push boundary events further above it -- no routed event may
+    trigger the LP runtime's KernelInvariantError."""
+    from repro.net import WireFault
+
+    # A negative spike could undercut the truncated floor; the fabric
+    # rejects it at construction.
+    with pytest.raises(ValueError, match="non-negative"):
+        WireFault(extra_delay=-1e-9)
+
+    def faulty_server(ctx):
+        _server_builder(ctx)
+        ctx.cluster.fabric.fault_hook = _DelaySpiker(3e-7)
+
+    def faulty_client(ctx):
+        _client_builder(ctx)
+        ctx.cluster.fabric.fault_hook = _DelaySpiker(3e-7)
+
+    plan = PartitionPlan(
+        lps=[LPSpec("server", faulty_server),
+             LPSpec("client", faulty_client)],
+        fabric_config=_jittered_config(),
+        name="jitter_fault",
+    )
+    lookahead = plan.lookahead()
+    assert lookahead == pytest.approx(
+        _jittered_config().latency - 1e-6
+    )
+    captured = []
+    orig = kernel_mod._SerialExecutor.round
+
+    def recording_round(self, start, end, inbound):
+        out = orig(self, start, end, inbound)
+        for rep in out.values():
+            captured.extend(as_events(rep["outbound"]))
+        return out
+
+    monkeypatch.setattr(kernel_mod._SerialExecutor, "round", recording_round)
+    result = run_partitioned(plan, workers=1)
+    assert result.done
+    assert captured
+    for ev in captured:
+        assert ev.recv_ts >= ev.send_ts + lookahead
+
+
+def test_jittered_lp_runtime_still_rejects_floor_undercut():
+    from repro.sim.parallel.lp import KernelInvariantError, LPRuntime
+
+    plan = echo_plan(fabric_config=_jittered_config())
+    rt = LPRuntime(plan, 0)
+    rt.bind({"svr": 0, "cli": 1})
+    lookahead = plan.lookahead()
+    bad = BoundaryEvent(
+        src_lp=1, dst_lp=0, seq=0,
+        send_ts=1e-6, recv_ts=1e-6 + 0.9 * lookahead, msg=None,
+    )
+    with pytest.raises(KernelInvariantError, match="lookahead"):
+        rt.window(1e-6, 3e-6, [bad])

@@ -1,0 +1,166 @@
+"""Automatic topology partitioning: bin-packing and derived plans.
+
+The load-bearing claims:
+
+* ``greedy_assign`` is a pure function of ``(groups, n_lps)``: every
+  node group lands in exactly one LP (node-aligned exact cover), the
+  packing is deterministic, and weights balance heaviest-first.
+* ``PartitionPlan.from_topology`` bakes the target LP count into the
+  plan, so executing the *same derived plan* under ``--workers`` 1, 2,
+  or 4 yields byte-identical digests -- including on a jittered fabric
+  with a declared ``jitter_bound`` (the bounded-jitter acceptance
+  criterion).
+"""
+
+import pytest
+
+from repro.net import FabricConfig
+from repro.sim.parallel import (
+    ClusterTopology,
+    NodeGroup,
+    PartitionPlan,
+    greedy_assign,
+    run_partitioned,
+)
+
+N_SERVERS = 6
+
+
+def _echo_handler(mi, handle):
+    inp = yield from mi.get_input(handle)
+    yield from mi.respond(handle, {"echo": inp["n"]})
+
+
+def _topo_builder(ctx, local_names):
+    """Deploy whatever groups the packing assigned: server nodes
+    ``g<i>`` (one echo server each) and/or the client node ``gc``."""
+    local = set(local_names)
+    for i in range(N_SERVERS):
+        if f"g{i}" not in local:
+            ctx.register_remote(f"s{i}", f"g{i}")
+    if "gc" not in local:
+        ctx.register_remote("cli", "gc")
+    for i in range(N_SERVERS):
+        if f"g{i}" in local:
+            mi = ctx.process(f"s{i}", f"g{i}", n_handler_es=1)
+            mi.register("echo", _echo_handler)
+    if "gc" in local:
+        mi = ctx.process("cli", "gc")
+        mi.register("echo")
+        done = ctx.cluster.sim.event("topo-done")
+
+        def body():
+            for i in range(N_SERVERS):
+                out = yield from mi.forward(f"s{i}", "echo", {"n": i})
+                assert out["echo"] == i
+            done.succeed(ctx.cluster.sim.now)
+
+        mi.client_ult(body(), name="topo-client")
+        ctx.set_done(done)
+
+
+def _topology(**fabric_kw):
+    groups = [
+        NodeGroup(f"g{i}", weight=float(1 + i % 3)) for i in range(N_SERVERS)
+    ] + [NodeGroup("gc", weight=2.0)]
+    return ClusterTopology(
+        groups=tuple(groups), builder=_topo_builder, name="topo_echo"
+    )
+
+
+# -- greedy bin-packing ----------------------------------------------------
+
+
+def test_greedy_assign_is_a_node_aligned_exact_cover():
+    groups = [NodeGroup(f"n{i}", weight=float((i * 7) % 5)) for i in range(23)]
+    for n_lps in (1, 2, 3, 5, 8, 23):
+        bins = greedy_assign(groups, n_lps)
+        assert len(bins) == n_lps
+        placed = [name for b in bins for name in b]
+        # Exact cover: every node group in exactly one LP.
+        assert sorted(placed) == sorted(g.name for g in groups)
+        assert all(b == sorted(b) for b in bins)
+        # Pure function: same inputs, same packing.
+        assert greedy_assign(groups, n_lps) == bins
+
+
+def test_greedy_assign_balances_weights():
+    groups = [NodeGroup(f"n{i}", weight=1.0) for i in range(12)]
+    bins = greedy_assign(groups, 4)
+    sizes = sorted(len(b) for b in bins)
+    assert sizes == [3, 3, 3, 3]
+
+    heavy = [NodeGroup("big", weight=10.0)] + [
+        NodeGroup(f"n{i}", weight=1.0) for i in range(5)
+    ]
+    bins = greedy_assign(heavy, 2)
+    big_bin = next(b for b in bins if "big" in b)
+    # Heaviest-first: the big group gets an LP to itself while the
+    # light groups pile onto the other.
+    assert big_bin == ["big"]
+
+
+def test_group_and_topology_validation():
+    with pytest.raises(ValueError, match="name"):
+        NodeGroup("")
+    with pytest.raises(ValueError, match="weight"):
+        NodeGroup("n", weight=-1.0)
+    with pytest.raises(ValueError, match="at least one"):
+        ClusterTopology(groups=(), builder=_topo_builder)
+    with pytest.raises(ValueError, match="duplicate"):
+        ClusterTopology(
+            groups=(NodeGroup("a"), NodeGroup("a")), builder=_topo_builder
+        )
+
+
+def test_assign_caps_lps_at_group_count():
+    topo = _topology()
+    assert len(topo.assign(100)) == len(topo.groups)
+    assert len(topo.assign(1)) == 1
+
+
+# -- derived plans ---------------------------------------------------------
+
+
+def test_from_topology_bakes_the_lp_count():
+    plan = PartitionPlan.from_topology(_topology(), 3)
+    assert plan.n_lps == 3
+    assert plan.name == "topo_echo"
+    assert [lp.name for lp in plan.lps] == ["part0", "part1", "part2"]
+    with pytest.raises(ValueError, match="workers"):
+        PartitionPlan.from_topology(_topology(), 0)
+
+
+def test_from_topology_digests_identical_across_worker_counts():
+    """The same derived plan executes byte-identically under any
+    worker count -- the partition is plan state, not run state."""
+    reference = None
+    for workers in (1, 2, 4):
+        result = run_partitioned(
+            PartitionPlan.from_topology(_topology(), 3), workers=workers
+        )
+        assert result.done
+        if reference is None:
+            reference = result
+        else:
+            assert reference.verify_mismatches(result) == []
+            assert reference.digests() == result.digests()
+
+
+def test_from_topology_jittered_digests_identical_across_worker_counts():
+    """The bounded-jitter acceptance criterion at unit scale: a
+    jittered fabric with a declared jitter_bound runs multi-worker
+    byte-identical to serial on an auto-partitioned plan."""
+    config = FabricConfig(jitter_sigma=0.4, jitter_bound=1e-6)
+
+    def make_plan():
+        return PartitionPlan.from_topology(
+            _topology(), 3, fabric_config=config
+        )
+
+    assert make_plan().lookahead() == config.latency - 1e-6
+    serial = run_partitioned(make_plan(), workers=1)
+    parallel = run_partitioned(make_plan(), workers=4, verify=True)
+    assert parallel.fallback is None
+    assert serial.verify_mismatches(parallel) == []
+    assert serial.digests() == parallel.digests()
